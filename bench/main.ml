@@ -1,0 +1,127 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. The reproduction: regenerate every table and figure of the paper
+      (Table 1, Table 2, Figure 4, Table 3) and print them with the
+      published numbers alongside.  These are single-shot runs - exactly
+      what the experiments measure.
+
+   2. Bechamel micro-benchmarks: one Test.make group per table/figure,
+      timing the computational kernel each experiment stresses (network
+      extraction for Table 1, the solver schemes for Table 2, the
+      single-improvement schemes for Figure 4, trace-driven simulation
+      for Table 3) on inputs small enough to sample repeatedly. *)
+
+module Spec = Mlo_workloads.Spec
+module Suite = Mlo_workloads.Suite
+module Solver = Mlo_csp.Solver
+module Schemes = Mlo_csp.Schemes
+module Build = Mlo_netgen.Build
+module Propagation = Mlo_heuristic.Propagation
+module Simulate = Mlo_cachesim.Simulate
+module Tables = Mlo_experiments.Tables
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the tables                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables () =
+  Format.printf "==================================================@.";
+  Format.printf "Reproduction of Chen/Kandemir/Karakoy, DATE 2005@.";
+  Format.printf "==================================================@.@.";
+  Format.printf "%a@.@." Tables.print_table1 (Tables.run_table1 ());
+  Format.printf "%a@.@." Tables.print_table2 (Tables.run_table2 ());
+  Format.printf "%a@.@." Tables.print_fig4 (Tables.run_fig4 ());
+  Format.printf "%a@.@." Tables.print_table3 (Tables.run_table3 ());
+  Format.printf "%a@.@." Tables.print_ablation (Tables.run_ablation ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel micro-benchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mxm = lazy (Suite.by_name "mxm")
+let med = lazy (Suite.by_name "med-im04")
+
+let table1_tests =
+  List.map
+    (fun spec ->
+      Test.make
+        ~name:(Printf.sprintf "table1/extract:%s" spec.Spec.name)
+        (Staged.stage (fun () -> ignore (Spec.extract spec))))
+    [ Lazy.force mxm; Lazy.force med ]
+
+let table2_tests =
+  List.concat_map
+    (fun spec ->
+      let build = Spec.extract spec in
+      let net = build.Build.network in
+      [
+        Test.make
+          ~name:(Printf.sprintf "table2/enhanced:%s" spec.Spec.name)
+          (Staged.stage (fun () ->
+               ignore (Solver.solve ~config:(Schemes.enhanced ()) net)));
+        Test.make
+          ~name:(Printf.sprintf "table2/heuristic:%s" spec.Spec.name)
+          (Staged.stage (fun () ->
+               ignore (Propagation.optimize spec.Spec.program)));
+      ])
+    [ Lazy.force mxm; Lazy.force med ]
+
+let fig4_tests =
+  let build = Spec.extract (Lazy.force mxm) in
+  let net = build.Build.network in
+  List.map
+    (fun a ->
+      Test.make
+        ~name:(Printf.sprintf "fig4/%s" a.Schemes.label)
+        (Staged.stage (fun () ->
+             ignore (Solver.solve ~config:a.Schemes.config net))))
+    (Schemes.figure4_schemes ~max_checks:50_000_000 ())
+
+let table3_tests =
+  let n = 32 in
+  let mm, req = Mlo_workloads.Kernels.matmul ~name:"mm" ~n ~c:"C" ~a:"A" ~b:"B" in
+  let prog =
+    Mlo_ir.Program.make ~name:"bench-mm" (Mlo_workloads.Kernels.declare req)
+      [ mm ]
+  in
+  [
+    Test.make ~name:"table3/simulate:matmul32-row"
+      (Staged.stage (fun () ->
+           ignore (Simulate.run prog ~layouts:(fun _ -> None))));
+    Test.make ~name:"table3/simulate:matmul32-colB"
+      (Staged.stage (fun () ->
+           ignore
+             (Simulate.run prog ~layouts:(function
+               | "B" -> Some (Mlo_layout.Layout.col_major 2)
+               | _ -> None))));
+  ]
+
+let benchmark () =
+  let tests = table1_tests @ table2_tests @ fig4_tests @ table3_tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Format.printf "Bechamel micro-benchmarks (monotonic clock):@.";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Format.printf "  %-34s %14.1f ns/run@." name est
+          | Some _ | None -> Format.printf "  %-34s (no estimate)@." name)
+        results)
+    tests;
+  Format.printf "@."
+
+let () =
+  print_tables ();
+  benchmark ()

@@ -1,0 +1,260 @@
+(* layoutopt: command-line driver for the memory-layout optimizer.
+
+   Subcommands mirror the repository's experiments: show a workload,
+   solve its constraint network with a chosen scheme, simulate the
+   optimized code, and regenerate each of the paper's tables/figures. *)
+
+module Spec = Mlo_workloads.Spec
+module Suite = Mlo_workloads.Suite
+module Network = Mlo_csp.Network
+module Solver = Mlo_csp.Solver
+module Stats = Mlo_csp.Stats
+module Build = Mlo_netgen.Build
+module Layout = Mlo_layout.Layout
+module Optimizer = Mlo_core.Optimizer
+module Simulate = Mlo_cachesim.Simulate
+module Tables = Mlo_experiments.Tables
+module Parser = Mlo_lang.Parser
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let workload_names = [ "med-im04"; "mxm"; "radar"; "shape"; "track" ]
+
+let workload_arg =
+  let doc =
+    Printf.sprintf "Benchmark to operate on; one of %s."
+      (String.concat ", " workload_names)
+  in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun n -> (n, n)) workload_names))) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let scheme_arg =
+  let doc = "Optimization scheme: heuristic, base or enhanced." in
+  Arg.(
+    value
+    & opt (enum [ ("heuristic", `Heuristic); ("base", `Base); ("enhanced", `Enhanced) ])
+        `Enhanced
+    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let seed_arg =
+  let doc = "Seed for the schemes' random decisions." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let max_checks_arg =
+  let doc = "Abort the search after this many consistency checks." in
+  Arg.(value & opt int 2_000_000_000 & info [ "max-checks" ] ~docv:"N" ~doc)
+
+let explain_flag =
+  let doc = "Print the per-nest, per-reference locality report." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let scheme_of ~seed = function
+  | `Heuristic -> Optimizer.Heuristic
+  | `Base -> Optimizer.Base seed
+  | `Enhanced -> Optimizer.Enhanced seed
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run workload =
+    let spec = Suite.by_name workload in
+    Format.printf "%a@.@.%a@." Spec.pp spec Mlo_ir.Program.pp
+      spec.Spec.program;
+    let build = Spec.extract spec in
+    Format.printf "@.%a@."
+      (Network.pp (fun ppf l -> Format.fprintf ppf "%s" (Layout.describe l)))
+      build.Build.network
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a workload's program and constraint network")
+    Term.(const run $ workload_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let solve_cmd =
+  let run workload scheme seed max_checks explain =
+    let spec = Suite.by_name workload in
+    match
+      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
+        (scheme_of ~seed scheme) spec.Spec.program
+    with
+    | exception Optimizer.No_solution msg ->
+      Format.printf "no solution: %s@." msg;
+      exit 1
+    | sol ->
+      Format.printf "Layouts for %s:@." spec.Spec.name;
+      List.iter
+        (fun (name, layout) ->
+          Format.printf "  %-6s %s@." name (Layout.describe layout))
+        sol.Optimizer.layouts;
+      (match sol.Optimizer.solver_stats with
+      | Some st -> Format.printf "solver: %a@." Stats.pp st
+      | None -> ());
+      (match sol.Optimizer.heuristic_evaluations with
+      | Some n -> Format.printf "heuristic: %d combinations scored@." n
+      | None -> ());
+      Format.printf "elapsed: %.4fs@." sol.Optimizer.elapsed_s;
+      if explain then
+        Format.printf "@.%a@." Mlo_core.Explain.pp
+          (Mlo_core.Explain.explain spec.Spec.program sol)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Choose memory layouts for a workload")
+    Term.(
+      const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
+      $ explain_flag)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run workload scheme seed max_checks =
+    let spec = Suite.by_name workload in
+    let prog = spec.Spec.sim_program in
+    let original = Optimizer.simulate_original prog in
+    Format.printf "original : %a@." Simulate.pp_report original;
+    match
+      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
+        (scheme_of ~seed scheme) prog
+    with
+    | exception Optimizer.No_solution msg ->
+      Format.printf "no solution: %s@." msg;
+      exit 1
+    | sol ->
+      let report = Optimizer.simulate sol in
+      Format.printf "optimized: %a@." Simulate.pp_report report;
+      Format.printf "improvement: %.2f%%@."
+        (Simulate.improvement_percent ~baseline:original report)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a workload before and after layout optimization")
+    Term.(const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize-file                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  let doc = "Program in the textual loop-nest language (see lib/lang)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let simulate_flag =
+  let doc = "Also simulate the program before and after optimization." in
+  Arg.(value & flag & info [ "simulate" ] ~doc)
+
+let optimize_file_cmd =
+  let run file scheme seed max_checks simulate explain =
+    match Parser.parse_file file with
+    | exception Parser.Error (msg, line, col) ->
+      Format.eprintf "%s:%d:%d: %s@." file line col msg;
+      exit 2
+    | prog -> (
+      Format.printf "parsed %s: %d arrays, %d nests@." file
+        (Array.length (Mlo_ir.Program.arrays prog))
+        (Array.length (Mlo_ir.Program.nests prog));
+      match Optimizer.optimize ~max_checks (scheme_of ~seed scheme) prog with
+      | exception Optimizer.No_solution msg ->
+        Format.printf "no solution: %s@." msg;
+        exit 1
+      | sol ->
+        Format.printf "Layouts:@.";
+        List.iter
+          (fun (name, layout) ->
+            Format.printf "  %-8s %s@." name (Layout.describe layout))
+          sol.Optimizer.layouts;
+        if explain then
+          Format.printf "@.%a@." Mlo_core.Explain.pp
+            (Mlo_core.Explain.explain prog sol);
+        if simulate then begin
+          let original = Optimizer.simulate_original prog in
+          let optimized = Optimizer.simulate sol in
+          Format.printf "original : %a@." Simulate.pp_report original;
+          Format.printf "optimized: %a@." Simulate.pp_report optimized;
+          Format.printf "improvement: %.2f%%@."
+            (Simulate.improvement_percent ~baseline:original optimized)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "optimize-file"
+       ~doc:"Parse a program file and choose its memory layouts")
+    Term.(
+      const run $ file_arg $ scheme_arg $ seed_arg $ max_checks_arg
+      $ simulate_flag $ explain_flag)
+
+(* ------------------------------------------------------------------ *)
+(* tables and figure                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run () = Format.printf "%a@." Tables.print_table1 (Tables.run_table1 ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 (benchmark codes)")
+    Term.(const run $ const ())
+
+let table2_cmd =
+  let run seed max_checks =
+    Format.printf "%a@." Tables.print_table2
+      (Tables.run_table2 ~seed ~max_checks ())
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 (solution times)")
+    Term.(const run $ seed_arg $ max_checks_arg)
+
+let fig4_cmd =
+  let run seed max_checks =
+    Format.printf "%a@." Tables.print_fig4 (Tables.run_fig4 ~seed ~max_checks ())
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Regenerate Figure 4 (enhancement breakdown)")
+    Term.(const run $ seed_arg $ max_checks_arg)
+
+let table3_cmd =
+  let run seed max_checks =
+    Format.printf "%a@." Tables.print_table3
+      (Tables.run_table3 ~seed ~max_checks ())
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Regenerate Table 3 (execution times)")
+    Term.(const run $ seed_arg $ max_checks_arg)
+
+let ablation_cmd =
+  let run seed max_checks =
+    Format.printf "%a@." Tables.print_ablation
+      (Tables.run_ablation ~seed ~max_checks ())
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Compare solver design choices (backjumping flavours, forward              checking, AC-3 preprocessing)")
+    Term.(const run $ seed_arg $ max_checks_arg)
+
+let all_cmd =
+  let run seed max_checks =
+    Format.printf "%a@.@." Tables.print_table1 (Tables.run_table1 ());
+    Format.printf "%a@.@." Tables.print_table2
+      (Tables.run_table2 ~seed ~max_checks ());
+    Format.printf "%a@.@." Tables.print_fig4
+      (Tables.run_fig4 ~seed ~max_checks ());
+    Format.printf "%a@." Tables.print_table3
+      (Tables.run_table3 ~seed ~max_checks ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure of the paper")
+    Term.(const run $ seed_arg $ max_checks_arg)
+
+let main_cmd =
+  let doc = "constraint-network based memory layout optimization (DATE'05)" in
+  Cmd.group
+    (Cmd.info "layoutopt" ~version:"1.0.0" ~doc)
+    [ show_cmd; solve_cmd; simulate_cmd; optimize_file_cmd; table1_cmd;
+      table2_cmd; fig4_cmd; table3_cmd; ablation_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,47 @@
+(* The Radar workload end to end: compare the heuristic baseline against
+   the paper's base and enhanced constraint-network schemes, on both
+   solution effort and quality of the optimized code.
+
+   Run with: dune exec examples/radar_layout.exe *)
+
+module Suite = Mlo_workloads.Suite
+module Spec = Mlo_workloads.Spec
+module Stats = Mlo_csp.Stats
+module Optimizer = Mlo_core.Optimizer
+module Simulate = Mlo_cachesim.Simulate
+
+let () =
+  let spec = Suite.by_name "radar" in
+  let prog = spec.Spec.sim_program in
+  Format.printf "%a@.@." Spec.pp spec;
+
+  let original = Optimizer.simulate_original prog in
+  Format.printf "%-10s %12d cycles (baseline)@." "original"
+    (Simulate.cycles original);
+
+  List.iter
+    (fun (label, scheme) ->
+      match
+        Optimizer.optimize ~candidates:spec.Spec.candidates
+          ~max_checks:200_000_000 scheme prog
+      with
+      | exception Optimizer.No_solution msg ->
+        Format.printf "%-10s no solution (%s)@." label msg
+      | sol ->
+        let report = Optimizer.simulate sol in
+        let effort =
+          match (sol.Optimizer.solver_stats, sol.Optimizer.heuristic_evaluations) with
+          | Some st, _ -> Printf.sprintf "%d checks" st.Stats.checks
+          | None, Some n -> Printf.sprintf "%d combinations" n
+          | None, None -> "?"
+        in
+        Format.printf "%-10s %12d cycles  %+6.2f%%  (solution: %s, %.4fs)@."
+          label
+          (Simulate.cycles report)
+          (Simulate.improvement_percent ~baseline:original report)
+          effort sol.Optimizer.elapsed_s)
+    [
+      ("heuristic", Optimizer.Heuristic);
+      ("base", Optimizer.Base 1);
+      ("enhanced", Optimizer.Enhanced 1);
+    ]

@@ -1,0 +1,81 @@
+type config = {
+  l1 : Cache.geometry;
+  l2 : Cache.geometry;
+  l1_latency : int;
+  l2_latency : int;
+  memory_latency : int;
+  compute_cycles_per_access : int;
+}
+
+let paper_config =
+  {
+    l1 = Cache.geometry ~size_bytes:8192 ~assoc:2 ~line_bytes:32;
+    l2 = Cache.geometry ~size_bytes:65536 ~assoc:4 ~line_bytes:64;
+    l1_latency = 1;
+    l2_latency = 6;
+    memory_latency = 70;
+    compute_cycles_per_access = 1;
+  }
+
+type t = {
+  config : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable cycles : int;
+}
+
+let create config =
+  { config; l1 = Cache.create config.l1; l2 = Cache.create config.l2; cycles = 0 }
+
+type counters = {
+  accesses : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  cycles : int;
+}
+
+let access t addr =
+  let c = t.config in
+  let cost =
+    if Cache.access t.l1 addr then c.l1_latency
+    else if Cache.access t.l2 addr then c.l1_latency + c.l2_latency
+    else c.l1_latency + c.l2_latency + c.memory_latency
+  in
+  let cost = cost + c.compute_cycles_per_access in
+  t.cycles <- t.cycles + cost;
+  cost
+
+let counters t =
+  {
+    accesses = Cache.accesses t.l1;
+    l1_hits = Cache.hits t.l1;
+    l1_misses = Cache.misses t.l1;
+    l2_hits = Cache.hits t.l2;
+    l2_misses = Cache.misses t.l2;
+    cycles = t.cycles;
+  }
+
+let reset t =
+  Cache.invalidate_all t.l1;
+  Cache.invalidate_all t.l2;
+  Cache.reset_counters t.l1;
+  Cache.reset_counters t.l2;
+  t.cycles <- 0
+
+let l1_miss_rate c =
+  if c.accesses = 0 then 0. else float_of_int c.l1_misses /. float_of_int c.accesses
+
+let l2_miss_rate c =
+  let probes = c.l2_hits + c.l2_misses in
+  if probes = 0 then 0. else float_of_int c.l2_misses /. float_of_int probes
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "accesses=%d L1(h=%d m=%d %.2f%%) L2(h=%d m=%d %.2f%%) cycles=%d"
+    c.accesses c.l1_hits c.l1_misses
+    (100. *. l1_miss_rate c)
+    c.l2_hits c.l2_misses
+    (100. *. l2_miss_rate c)
+    c.cycles

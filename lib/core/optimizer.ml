@@ -1,0 +1,70 @@
+module Program = Mlo_ir.Program
+module Layout = Mlo_layout.Layout
+module Solver = Mlo_csp.Solver
+module Schemes = Mlo_csp.Schemes
+module Stats = Mlo_csp.Stats
+module Build = Mlo_netgen.Build
+module Select = Mlo_netgen.Select
+module Propagation = Mlo_heuristic.Propagation
+module Simulate = Mlo_cachesim.Simulate
+module Hierarchy = Mlo_cachesim.Hierarchy
+
+type scheme = Heuristic | Base of int | Enhanced of int | Custom of Solver.config
+
+type solution = {
+  layouts : (string * Layout.t) list;
+  restructured : Program.t;
+  solver_stats : Stats.t option;
+  heuristic_evaluations : int option;
+  elapsed_s : float;
+}
+
+exception No_solution of string
+
+let config_of_scheme ?max_checks = function
+  | Heuristic -> None
+  | Base seed -> Some (Schemes.base ~seed ?max_checks ())
+  | Enhanced seed -> Some (Schemes.enhanced ~seed ?max_checks ())
+  | Custom c -> Some c
+
+let optimize ?candidates ?max_checks scheme prog =
+  let t0 = Sys.time () in
+  match config_of_scheme ?max_checks scheme with
+  | None ->
+    let r = Propagation.optimize prog in
+    let lookup name = Propagation.lookup r name in
+    let restructured = Select.restructure prog lookup in
+    {
+      layouts = r.Propagation.layouts;
+      restructured;
+      solver_stats = None;
+      heuristic_evaluations = Some r.Propagation.evaluations;
+      elapsed_s = Sys.time () -. t0;
+    }
+  | Some config ->
+    let build = Build.build ?candidates prog in
+    let result = Solver.solve ~config build.Build.network in
+    (match result.Solver.outcome with
+    | Solver.Unsatisfiable ->
+      raise (No_solution (Program.name prog ^ ": network unsatisfiable"))
+    | Solver.Aborted ->
+      raise (No_solution (Program.name prog ^ ": check budget exhausted"))
+    | Solver.Solution assignment ->
+      let layouts = Build.assignment_layouts build assignment in
+      let lookup name = List.assoc_opt name layouts in
+      let restructured = Select.restructure prog lookup in
+      {
+        layouts;
+        restructured;
+        solver_stats = Some result.Solver.stats;
+        heuristic_evaluations = None;
+        elapsed_s = Sys.time () -. t0;
+      })
+
+let lookup sol name = List.assoc_opt name sol.layouts
+
+let simulate ?config sol =
+  Simulate.run ?config sol.restructured ~layouts:(lookup sol)
+
+let simulate_original ?config prog =
+  Simulate.run ?config prog ~layouts:(fun _ -> None)

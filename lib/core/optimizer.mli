@@ -1,0 +1,55 @@
+(** End-to-end memory-layout optimization.
+
+    Ties the pipeline together: extract the constraint network from a
+    program, solve it with a chosen scheme (or run the propagation
+    heuristic), pick the matching loop restructurings, and optionally
+    simulate the optimized program on the embedded cache hierarchy.  This
+    is the facade a compiler pass (or the examples and benches of this
+    repository) calls. *)
+
+type scheme =
+  | Heuristic  (** the paper's comparison baseline (Leung-Zahorjan style) *)
+  | Base of int  (** the paper's base scheme with the given seed *)
+  | Enhanced of int  (** the paper's enhanced scheme with the given seed *)
+  | Custom of Mlo_csp.Solver.config
+
+type solution = {
+  layouts : (string * Mlo_layout.Layout.t) list;
+      (** chosen layout per array, declaration order *)
+  restructured : Mlo_ir.Program.t;
+      (** the program with each nest in its best legal loop order for the
+          chosen layouts *)
+  solver_stats : Mlo_csp.Stats.t option;
+      (** search-effort counters ([None] for [Heuristic]) *)
+  heuristic_evaluations : int option;
+      (** combinations scored ([Some] only for [Heuristic]) *)
+  elapsed_s : float;  (** end-to-end solution time *)
+}
+
+exception No_solution of string
+(** Raised when a constraint-network scheme proves the network
+    unsatisfiable or exceeds its check budget. *)
+
+val optimize :
+  ?candidates:(string -> Mlo_layout.Layout.t list) ->
+  ?max_checks:int ->
+  scheme ->
+  Mlo_ir.Program.t ->
+  solution
+(** Runs the full pipeline.  [candidates] enriches network domains (see
+    {!Mlo_netgen.Build.build}); [max_checks] bounds solver effort. *)
+
+val lookup : solution -> string -> Mlo_layout.Layout.t option
+
+val simulate :
+  ?config:Mlo_cachesim.Hierarchy.config ->
+  solution ->
+  Mlo_cachesim.Simulate.report
+(** Trace-driven simulation of the restructured program under the chosen
+    layouts. *)
+
+val simulate_original :
+  ?config:Mlo_cachesim.Hierarchy.config ->
+  Mlo_ir.Program.t ->
+  Mlo_cachesim.Simulate.report
+(** The unoptimized baseline: original loop orders, row-major layouts. *)

@@ -1,0 +1,83 @@
+type t = { mutable card : int; words : Bytes.t; capacity : int }
+
+let words_for n = (n + 7) / 8
+
+let create_empty n =
+  if n < 0 then invalid_arg "Bitset.create_empty: negative capacity";
+  { card = 0; words = Bytes.make (words_for n) '\000'; capacity = n }
+
+let create_full n =
+  let t = create_empty n in
+  for i = 0 to n - 1 do
+    let w = i lsr 3 and b = i land 7 in
+    Bytes.unsafe_set t.words w
+      (Char.chr (Char.code (Bytes.unsafe_get t.words w) lor (1 lsl b)))
+  done;
+  t.card <- n;
+  t
+
+let capacity t = t.capacity
+
+let mem t i =
+  i >= 0 && i < t.capacity
+  && Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset.add: out of range";
+  if not (mem t i) then begin
+    let w = i lsr 3 and b = i land 7 in
+    Bytes.unsafe_set t.words w
+      (Char.chr (Char.code (Bytes.unsafe_get t.words w) lor (1 lsl b)));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  if i >= 0 && i < t.capacity && mem t i then begin
+    let w = i lsr 3 and b = i land 7 in
+    Bytes.unsafe_set t.words w
+      (Char.chr (Char.code (Bytes.unsafe_get t.words w) land lnot (1 lsl b) land 0xff));
+    t.card <- t.card - 1
+  end
+
+let count t = t.card
+let is_empty t = t.card = 0
+
+let copy t =
+  { card = t.card; words = Bytes.copy t.words; capacity = t.capacity }
+
+let blit ~src ~dst =
+  if src.capacity <> dst.capacity then invalid_arg "Bitset.blit: capacity mismatch";
+  Bytes.blit src.words 0 dst.words 0 (Bytes.length src.words);
+  dst.card <- src.card
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let choose t =
+  let rec go i =
+    if i >= t.capacity then None else if mem t i then Some i else go (i + 1)
+  in
+  go 0
+
+let equal a b =
+  a.capacity = b.capacity && a.card = b.card && Bytes.equal a.words b.words
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if not !first then Format.fprintf ppf ",";
+      Format.fprintf ppf "%d" i;
+      first := false)
+    t;
+  Format.fprintf ppf "}"

@@ -1,0 +1,32 @@
+(** Fixed-capacity bitsets over [0 .. capacity-1].
+
+    Used for pruned domains during forward checking and arc consistency.
+    Mutable; callers own copies. *)
+
+type t
+
+val create_full : int -> t
+(** [create_full n] contains every element of [0 .. n-1]. *)
+
+val create_empty : int -> t
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val count : t -> int
+(** Cardinality, maintained in O(1). *)
+
+val is_empty : t -> bool
+val copy : t -> t
+val blit : src:t -> dst:t -> unit
+(** Overwrites [dst] with the contents of [src] (equal capacities). *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

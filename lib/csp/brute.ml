@@ -1,0 +1,41 @@
+exception Done
+
+let enumerate ?limit net f =
+  let n = Network.num_vars net in
+  let a = Array.make n (-1) in
+  let found = ref 0 in
+  let rec go i =
+    if i = n then begin
+      f (Array.copy a);
+      incr found;
+      match limit with Some l when !found >= l -> raise Done | Some _ | None -> ()
+    end
+    else
+      for v = 0 to Network.domain_size net i - 1 do
+        let ok =
+          let rec chk j =
+            j >= i || (Network.allowed net i v j a.(j) && chk (j + 1))
+          in
+          chk 0
+        in
+        if ok then begin
+          a.(i) <- v;
+          go (i + 1);
+          a.(i) <- -1
+        end
+      done
+  in
+  (try go 0 with Done -> ());
+  !found
+
+let count_solutions ?limit net = enumerate ?limit net (fun _ -> ())
+
+let all_solutions ?limit net =
+  let acc = ref [] in
+  ignore (enumerate ?limit net (fun a -> acc := a :: !acc));
+  List.rev !acc
+
+let first_solution net =
+  match all_solutions ~limit:1 net with [] -> None | a :: _ -> Some a
+
+let is_satisfiable net = count_solutions ~limit:1 net > 0

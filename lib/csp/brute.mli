@@ -1,0 +1,18 @@
+(** Exhaustive reference solver.
+
+    Enumerates the full Cartesian product of the domains; exponential, so
+    only usable on small networks.  Serves as the oracle for property
+    tests: every {!Solver} configuration must agree with it on
+    satisfiability, and weighted branch-and-bound must match its optimum. *)
+
+val is_satisfiable : 'a Network.t -> bool
+
+val count_solutions : ?limit:int -> 'a Network.t -> int
+(** Number of complete consistent assignments, stopping early at [limit]
+    if given. *)
+
+val all_solutions : ?limit:int -> 'a Network.t -> int array list
+(** The solutions themselves (value index per variable), lexicographic
+    order, at most [limit] of them if given. *)
+
+val first_solution : 'a Network.t -> int array option

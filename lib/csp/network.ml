@@ -1,0 +1,147 @@
+type 'a t = {
+  names : string array;
+  domains : 'a array array;
+  cons : (int * int, Relation.t) Hashtbl.t; (* keyed (i, j) with i < j *)
+  neighbors : int list array; (* kept sorted ascending *)
+}
+
+let create ~names ~domains =
+  if Array.length names <> Array.length domains then
+    invalid_arg "Network.create: names/domains length mismatch";
+  Array.iter
+    (fun d -> if Array.length d = 0 then invalid_arg "Network.create: empty domain")
+    domains;
+  {
+    names = Array.copy names;
+    domains = Array.map Array.copy domains;
+    cons = Hashtbl.create 64;
+    neighbors = Array.make (Array.length names) [];
+  }
+
+let num_vars t = Array.length t.names
+let name t i = t.names.(i)
+let domain t i = Array.copy t.domains.(i)
+let domain_size t i = Array.length t.domains.(i)
+let value t i v = t.domains.(i).(v)
+
+let total_domain_size t =
+  Array.fold_left (fun acc d -> acc + Array.length d) 0 t.domains
+
+let key i j = if i < j then (i, j) else (j, i)
+
+let check_var t i =
+  if i < 0 || i >= num_vars t then invalid_arg "Network: variable out of range"
+
+let insert_sorted x l =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: ys as l' -> if x < y then x :: l' else if x = y then l' else y :: go ys
+  in
+  go l
+
+let add_allowed t i j pairs =
+  check_var t i;
+  check_var t j;
+  if i = j then invalid_arg "Network.add_allowed: i = j";
+  let a, b = key i j in
+  let rel =
+    match Hashtbl.find_opt t.cons (a, b) with
+    | Some r -> r
+    | None ->
+      let r =
+        Relation.create
+          ~left:(Array.length t.domains.(a))
+          ~right:(Array.length t.domains.(b))
+      in
+      Hashtbl.replace t.cons (a, b) r;
+      t.neighbors.(a) <- insert_sorted b t.neighbors.(a);
+      t.neighbors.(b) <- insert_sorted a t.neighbors.(b);
+      r
+  in
+  List.iter
+    (fun (vi, vj) ->
+      let l, r = if i < j then (vi, vj) else (vj, vi) in
+      Relation.add rel l r)
+    pairs
+
+let constrained t i j = i <> j && Hashtbl.mem t.cons (key i j)
+
+let allowed t i vi j vj =
+  match Hashtbl.find_opt t.cons (key i j) with
+  | None -> true
+  | Some rel -> if i < j then Relation.mem rel vi vj else Relation.mem rel vj vi
+
+let support_count t i vi j =
+  match Hashtbl.find_opt t.cons (key i j) with
+  | None -> domain_size t j
+  | Some rel ->
+    if i < j then Relation.left_support rel vi else Relation.right_support rel vi
+
+let relation t i j =
+  match Hashtbl.find_opt t.cons (key i j) with
+  | None -> None
+  | Some rel -> if i < j then Some rel else Some (Relation.transpose rel)
+
+let neighbors t i =
+  check_var t i;
+  t.neighbors.(i)
+
+let degree t i = List.length (neighbors t i)
+let num_constraints t = Hashtbl.length t.cons
+
+let constraint_pairs t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.cons []
+  |> List.sort Stdlib.compare
+
+let check_assignment_shape t a partial =
+  if Array.length a <> num_vars t then
+    invalid_arg "Network: assignment length differs from variable count";
+  Array.iteri
+    (fun i v ->
+      if v >= Array.length t.domains.(i) || (v < 0 && not (partial && v = -1))
+      then invalid_arg "Network: value index out of range")
+    a
+
+let consistent_with t a partial =
+  check_assignment_shape t a partial;
+  Hashtbl.fold
+    (fun (i, j) rel ok ->
+      ok
+      && (a.(i) = -1 || a.(j) = -1 || Relation.mem rel a.(i) a.(j)))
+    t.cons true
+
+let verify t a = consistent_with t a false
+let consistent_partial t a = consistent_with t a true
+
+let map_values f t =
+  let cons = Hashtbl.create (Hashtbl.length t.cons) in
+  Hashtbl.iter (fun k rel -> Hashtbl.replace cons k (Relation.copy rel)) t.cons;
+  {
+    names = Array.copy t.names;
+    domains = Array.map (Array.map f) t.domains;
+    cons;
+    neighbors = Array.copy t.neighbors;
+  }
+
+let pp pp_value ppf t =
+  Format.fprintf ppf "@[<v>network: %d variables, %d constraints@," (num_vars t)
+    (num_constraints t);
+  Array.iteri
+    (fun i n ->
+      Format.fprintf ppf "  %s: {" n;
+      Array.iteri
+        (fun v x ->
+          if v > 0 then Format.fprintf ppf ", ";
+          pp_value ppf x)
+        t.domains.(i);
+      Format.fprintf ppf "}@,")
+    t.names;
+  List.iter
+    (fun (i, j) ->
+      match Hashtbl.find_opt t.cons (i, j) with
+      | None -> ()
+      | Some rel ->
+        Format.fprintf ppf "  S(%s,%s): %d pairs@," t.names.(i) t.names.(j)
+          (Relation.pair_count rel))
+    (constraint_pairs t);
+  Format.fprintf ppf "@]"

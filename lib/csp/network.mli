@@ -1,0 +1,74 @@
+(** Binary constraint networks [CN = <P, M, S>] (paper Section 3).
+
+    [P] is a set of variables (the arrays), [M] gives each variable a
+    finite domain (its candidate layouts), and [S] is a set of binary
+    constraints: for a pair of variables, the set of allowed value pairs.
+    Pairs of variables with no constraint in [S] are unconstrained.
+
+    The network is polymorphic in the domain-value type: the layout
+    pipeline instantiates it at [Layout.t], the tests also use plain
+    integers and strings. *)
+
+type 'a t
+
+val create : names:string array -> domains:'a array array -> 'a t
+(** [create ~names ~domains] builds a network with no constraints.
+    Raises [Invalid_argument] if lengths differ, or any domain is empty. *)
+
+val num_vars : 'a t -> int
+val name : 'a t -> int -> string
+val domain : 'a t -> int -> 'a array
+(** A copy of the variable's domain values. *)
+
+val domain_size : 'a t -> int -> int
+val value : 'a t -> int -> int -> 'a
+(** [value t i v] is the [v]-th domain value of variable [i]. *)
+
+val total_domain_size : 'a t -> int
+(** Sum of domain sizes over all variables: the paper's Table 1
+    "Domain Size" column. *)
+
+val add_allowed : 'a t -> int -> int -> (int * int) list -> unit
+(** [add_allowed t i j pairs] adds the given [(vi, vj)] value-index pairs
+    to the constraint between [i] and [j], creating it if absent (an
+    absent constraint allows everything; once created, only added pairs
+    are allowed).  Orientation follows the argument order.  Raises
+    [Invalid_argument] if [i = j] or an index is out of range. *)
+
+val constrained : 'a t -> int -> int -> bool
+(** Whether a constraint exists between the two variables. *)
+
+val allowed : 'a t -> int -> int -> int -> int -> bool
+(** [allowed t i vi j vj] is false only if a constraint exists between [i]
+    and [j] and excludes the pair. *)
+
+val support_count : 'a t -> int -> int -> int -> int
+(** [support_count t i vi j] is the number of values of [j] compatible
+    with [i = vi]; [domain_size t j] when the pair is unconstrained. *)
+
+val relation : 'a t -> int -> int -> Relation.t option
+(** The relation between [i] and [j], oriented with [i] on the left
+    (a transposed copy if stored the other way). *)
+
+val neighbors : 'a t -> int -> int list
+(** Variables sharing a constraint with the given one, ascending. *)
+
+val degree : 'a t -> int -> int
+val num_constraints : 'a t -> int
+val constraint_pairs : 'a t -> (int * int) list
+(** All constrained pairs [(i, j)] with [i < j], ascending. *)
+
+val verify : 'a t -> int array -> bool
+(** [verify t a] checks the complete assignment [a] (value index per
+    variable) against every constraint.  Raises [Invalid_argument] if the
+    assignment has the wrong length or an index is out of range. *)
+
+val consistent_partial : 'a t -> int array -> bool
+(** Like {!verify} for a partial instantiation: entries of [-1] are
+    unassigned, and only constraints between assigned variables are
+    checked — the paper's "consistent partial instantiation". *)
+
+val map_values : ('a -> 'b) -> 'a t -> 'b t
+(** Same structure with converted domain values. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,28 @@
+(** Constraint propagation: arc consistency (AC-3).
+
+    Not part of the paper's two schemes; implemented as a preprocessing
+    ablation.  Removing arc-inconsistent values before the search starts
+    can never remove a solution, so any solver configuration run on the
+    reduced network remains complete. *)
+
+type outcome =
+  | Reduced of Bitset.t array
+      (** Arc-consistent domains, one bitset per variable (all
+          non-empty). *)
+  | Wiped of int  (** This variable's domain emptied: no solution. *)
+
+val ac3 : 'a Network.t -> outcome
+(** Standard AC-3 over the constraint graph.  The input network is not
+    modified. *)
+
+val restrict : 'a Network.t -> Bitset.t array -> 'a Network.t
+(** [restrict net domains] builds a new network whose variable domains are
+    the members of [domains] (value order preserved) and whose constraints
+    are the old ones re-indexed.  Raises [Invalid_argument] if a domain is
+    empty or capacities disagree with the network. *)
+
+val revise : 'a Network.t -> Bitset.t array -> int -> int -> bool
+(** [revise net domains i j] removes from [domains.(i)] every value with
+    no support in [domains.(j)] under the constraint between [i] and [j];
+    true iff something was removed.  No-op (false) for unconstrained
+    pairs. *)

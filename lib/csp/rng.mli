@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers for the solver's random policies.
+
+    The paper's base scheme "makes random decisions at several points";
+    reproducible experiments need those decisions to be a pure function of
+    a seed, independent of the global [Random] state.  This is a small
+    splitmix64-style generator: fast, well distributed, and stable across
+    runs and platforms. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Generators are mutable and not
+    thread-safe; create one per solver run. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffled_init : t -> int -> int array
+(** [shuffled_init t n] is a random permutation of [0 .. n-1]. *)
+
+val split : t -> t
+(** A generator decorrelated from the parent (for independent substreams). *)

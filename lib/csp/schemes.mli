@@ -1,0 +1,47 @@
+(** The paper's named solver configurations (Section 4 / Section 5).
+
+    The {e base scheme} makes all three decisions randomly / naively:
+    random variable selection, random value selection, chronological
+    backtracking.  The {e enhanced scheme} replaces all three: the
+    most-constraining variable is instantiated first, values are tried in
+    least-constraining order, and dead-ends backjump along the constraint
+    graph.  The three intermediate schemes used for Figure 4 enable one
+    improvement at a time. *)
+
+val base : ?seed:int -> ?max_checks:int -> unit -> Solver.config
+val enhanced : ?seed:int -> ?max_checks:int -> unit -> Solver.config
+
+val base_plus_variable_selection :
+  ?seed:int -> ?max_checks:int -> unit -> Solver.config
+(** Base scheme with only the variable-selection improvement. *)
+
+val base_plus_value_selection :
+  ?seed:int -> ?max_checks:int -> unit -> Solver.config
+(** Base scheme with only the value-selection improvement. *)
+
+val base_plus_backjumping :
+  ?seed:int -> ?max_checks:int -> unit -> Solver.config
+(** Base scheme with only backjumping. *)
+
+type ablation = {
+  label : string;
+  config : Solver.config;
+}
+
+val figure4_schemes : ?seed:int -> ?max_checks:int -> unit -> ablation list
+(** The three single-improvement schemes, in the paper's Figure 4 order:
+    variable selection, value selection, backjumping. *)
+
+val extension_schemes : ?seed:int -> ?max_checks:int -> unit -> ablation list
+(** Beyond the paper: enhanced scheme with conflict-directed backjumping,
+    and enhanced scheme with forward checking. *)
+
+val breakdown :
+  base_checks:int -> enhanced_checks:int -> single:(string * int) list ->
+  (string * float) list
+(** Figure-4 arithmetic: given the base cost, the all-enhancements cost
+    and each single-improvement cost (same units), attribute the total
+    saving [base - enhanced] to the individual improvements
+    proportionally to their individual savings [base - single_i], clamped
+    at zero.  Returns (label, fraction) summing to 1 when any saving
+    exists. *)

@@ -1,0 +1,79 @@
+(** Systematic search over constraint networks (paper Section 4).
+
+    The engine is a depth-first backtracking search with pluggable
+    policies covering the paper's two schemes and several extensions:
+
+    - {b variable ordering} — which uninstantiated variable to assign
+      next (the paper's first random decision, and its "maximally
+      constrains the rest of the search space" improvement);
+    - {b value ordering} — which layout to try first (the second random
+      decision, and the "maximize options for future assignments"
+      improvement);
+    - {b backward policy} — where to resume after a dead-end:
+      chronological backtracking, the paper's backjumping (jump to the
+      deepest instantiated variable sharing a constraint with the
+      dead-end variable), or conflict-directed backjumping;
+    - {b lookahead} — optionally prune future domains (forward checking),
+      an extension the paper does not evaluate.
+
+    All policies are complete: if the network has a solution, every
+    configuration finds one (possibly a different one, as the paper notes
+    for its Table 3). *)
+
+type var_policy =
+  | Lexicographic_var  (** lowest-numbered uninstantiated variable *)
+  | Random_var  (** uniformly random uninstantiated variable *)
+  | Most_constraining
+      (** most constraints to the rest of the network; ties broken by
+          constraints to instantiated variables, then smaller domain *)
+  | Min_domain
+      (** smallest current domain (differs from [Most_constraining] only
+          under forward checking); ties broken by degree *)
+
+type val_policy =
+  | Lexicographic_val
+  | Random_val
+  | Least_constraining
+      (** maximize the number of compatible values left in uninstantiated
+          neighbours' domains *)
+
+type backward_policy =
+  | Chronological  (** undo the most recent instantiation *)
+  | Graph_based
+      (** the paper's backjumping: return to the deepest instantiated
+          variable adjacent (in the constraint graph) to the dead-end
+          variable, skipping non-culprits *)
+  | Conflict_directed
+      (** jump to the deepest variable that actually conflicted; subsumes
+          [Graph_based] *)
+
+type lookahead = No_lookahead | Forward_checking
+
+type config = {
+  var_policy : var_policy;
+  val_policy : val_policy;
+  backward : backward_policy;
+  lookahead : lookahead;
+  seed : int;  (** seed for the random policies *)
+  max_checks : int option;
+      (** abort the search after this many consistency checks *)
+}
+
+val default_config : config
+(** Lexicographic orderings, chronological backtracking, no lookahead,
+    seed 0, no check limit. *)
+
+type outcome =
+  | Solution of int array  (** value index per variable *)
+  | Unsatisfiable
+  | Aborted  (** check limit exhausted *)
+
+type result = { outcome : outcome; stats : Stats.t }
+
+val solve : ?config:config -> 'a Network.t -> result
+(** Runs the search.  The returned assignment (if any) satisfies
+    {!Network.verify}. *)
+
+val solve_values : ?config:config -> 'a Network.t -> ('a array * result) option
+(** Convenience: like {!solve} but materializes the domain values of the
+    solution; [None] when unsatisfiable or aborted. *)

@@ -1,0 +1,45 @@
+type t = {
+  mutable nodes : int;
+  mutable checks : int;
+  mutable backtracks : int;
+  mutable backjumps : int;
+  mutable prunings : int;
+  mutable max_depth : int;
+  mutable elapsed_s : float;
+}
+
+let create () =
+  {
+    nodes = 0;
+    checks = 0;
+    backtracks = 0;
+    backjumps = 0;
+    prunings = 0;
+    max_depth = 0;
+    elapsed_s = 0.;
+  }
+
+let reset t =
+  t.nodes <- 0;
+  t.checks <- 0;
+  t.backtracks <- 0;
+  t.backjumps <- 0;
+  t.prunings <- 0;
+  t.max_depth <- 0;
+  t.elapsed_s <- 0.
+
+let add a b =
+  {
+    nodes = a.nodes + b.nodes;
+    checks = a.checks + b.checks;
+    backtracks = a.backtracks + b.backtracks;
+    backjumps = a.backjumps + b.backjumps;
+    prunings = a.prunings + b.prunings;
+    max_depth = max a.max_depth b.max_depth;
+    elapsed_s = a.elapsed_s +. b.elapsed_s;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d depth=%d time=%.4fs"
+    t.nodes t.checks t.backtracks t.backjumps t.prunings t.max_depth t.elapsed_s

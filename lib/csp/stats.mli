@@ -1,0 +1,22 @@
+(** Search-effort counters.
+
+    Consistency checks are the machine-independent proxy for the paper's
+    Table 2 solution times; wall-clock seconds are also recorded when the
+    search is timed. *)
+
+type t = {
+  mutable nodes : int;  (** variable instantiations attempted *)
+  mutable checks : int;  (** binary consistency checks performed *)
+  mutable backtracks : int;  (** chronological backward steps *)
+  mutable backjumps : int;  (** non-chronological backward steps *)
+  mutable prunings : int;  (** domain values removed by lookahead *)
+  mutable max_depth : int;  (** deepest consistent partial instantiation *)
+  mutable elapsed_s : float;  (** wall-clock seconds, if timed *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> t
+(** Componentwise sum (elapsed times add too); inputs unchanged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** The previously proposed heuristic the paper compares against
+    (Section 5, after Leung and Zahorjan).
+
+    The loop nests are ordered by an importance criterion (estimated
+    time, here {!Mlo_ir.Cost.nest_cost}).  Nests are processed most
+    important first: for each nest the heuristic picks a good combination
+    of loop restructuring and memory layouts for the arrays it accesses,
+    but only arrays whose layout is still undetermined may be assigned —
+    layouts fixed by more important nests are propagated in unchanged.
+    Arrays left unconstrained at the end default to row-major. *)
+
+type result = {
+  layouts : (string * Mlo_layout.Layout.t) list;
+      (** one layout per declared array, declaration order *)
+  nest_order : int list;
+      (** nest indices in the importance order processed *)
+  evaluations : int;
+      (** (restructuring x layout) combinations scored — the work metric
+          reported alongside solver consistency checks *)
+  elapsed_s : float;
+}
+
+val optimize : Mlo_ir.Program.t -> result
+
+val lookup : result -> string -> Mlo_layout.Layout.t option
+(** Layout assigned to an array, if declared. *)

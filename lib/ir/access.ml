@@ -1,0 +1,47 @@
+module Intvec = Mlo_linalg.Intvec
+module Intmat = Mlo_linalg.Intmat
+
+type kind = Read | Write
+
+type t = { array_name : string; kind : kind; indices : Affine.t array }
+
+let make kind array_name indices =
+  match indices with
+  | [] -> invalid_arg "Access.make: no index expressions"
+  | e0 :: rest ->
+    let d = Affine.depth e0 in
+    List.iter
+      (fun e ->
+        if Affine.depth e <> d then
+          invalid_arg "Access.make: index expressions of differing depth")
+      rest;
+    { array_name; kind; indices = Array.of_list indices }
+
+let read name indices = make Read name indices
+let write name indices = make Write name indices
+let array_name a = a.array_name
+let kind a = a.kind
+let is_write a = a.kind = Write
+let rank a = Array.length a.indices
+let depth a = Affine.depth a.indices.(0)
+
+let matrix a =
+  Array.map (fun e -> Array.init (depth a) (fun j -> Affine.coeff e j)) a.indices
+
+let offset a = Array.map (fun (e : Affine.t) -> e.Affine.const) a.indices
+
+let element_at a iter =
+  Array.map (fun e -> Affine.eval e iter) a.indices
+
+let permute perm a =
+  { a with indices = Array.map (Affine.permute perm) a.indices }
+
+let equal a b =
+  String.equal a.array_name b.array_name
+  && a.kind = b.kind
+  && Array.length a.indices = Array.length b.indices
+  && Array.for_all2 Affine.equal a.indices b.indices
+
+let pp names ppf a =
+  Format.fprintf ppf "%s" a.array_name;
+  Array.iter (fun e -> Format.fprintf ppf "[%a]" (Affine.pp names) e) a.indices

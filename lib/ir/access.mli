@@ -1,0 +1,45 @@
+(** Array references inside a loop nest.
+
+    A reference [Q[f1(I)]..[fk(I)]] is an array name, a read/write kind,
+    and one affine index expression per array dimension.  The linear parts
+    of the index expressions form the {e access matrix} [F] (k rows, one
+    per array dimension; d columns, one per loop), so the element touched
+    at iteration [I] is [F I + o] with [o] the offset vector. *)
+
+type kind = Read | Write
+
+type t = { array_name : string; kind : kind; indices : Affine.t array }
+
+val make : kind -> string -> Affine.t list -> t
+(** [make kind name indices] builds a reference.  Raises [Invalid_argument]
+    if [indices] is empty or the expressions have differing depths. *)
+
+val read : string -> Affine.t list -> t
+val write : string -> Affine.t list -> t
+
+val array_name : t -> string
+val kind : t -> kind
+val is_write : t -> bool
+val rank : t -> int
+(** Number of array dimensions indexed. *)
+
+val depth : t -> int
+(** Depth of the enclosing loop nest the indices range over. *)
+
+val matrix : t -> Mlo_linalg.Intmat.t
+(** The access matrix [F]: row [r] holds the loop-variable coefficients of
+    the [r]-th index expression. *)
+
+val offset : t -> Mlo_linalg.Intvec.t
+(** The constant offset vector [o]. *)
+
+val element_at : t -> Mlo_linalg.Intvec.t -> Mlo_linalg.Intvec.t
+(** [element_at a iter] is the index vector of the array element touched at
+    iteration [iter] (i.e. [F iter + o]). *)
+
+val permute : int array -> t -> t
+(** Rewrite the reference for a permuted loop nest (see {!Affine.permute}). *)
+
+val equal : t -> t -> bool
+val pp : string array -> Format.formatter -> t -> unit
+(** [pp names ppf a] prints e.g. ["Q1[i1+i2][i2]"]. *)

@@ -1,0 +1,51 @@
+module Intvec = Mlo_linalg.Intvec
+
+type t = { coeffs : Intvec.t; const : int }
+
+let make coeffs const = { coeffs = Intvec.of_list coeffs; const }
+let const depth c = { coeffs = Intvec.zero depth; const = c }
+let var depth j = { coeffs = Intvec.unit depth j; const = 0 }
+let depth e = Intvec.dim e.coeffs
+
+let add a b =
+  { coeffs = Intvec.add a.coeffs b.coeffs; const = a.const + b.const }
+
+let sub a b =
+  { coeffs = Intvec.sub a.coeffs b.coeffs; const = a.const - b.const }
+
+let scale k a = { coeffs = Intvec.scale k a.coeffs; const = k * a.const }
+let neg a = scale (-1) a
+let eval e iter = Intvec.dot e.coeffs iter + e.const
+let coeff e j = e.coeffs.(j)
+let equal a b = Intvec.equal a.coeffs b.coeffs && a.const = b.const
+
+let compare a b =
+  let c = Intvec.compare a.coeffs b.coeffs in
+  if c <> 0 then c else Int.compare a.const b.const
+
+let permute perm e =
+  if Array.length perm <> depth e then
+    invalid_arg "Affine.permute: permutation length mismatch";
+  { e with coeffs = Array.init (depth e) (fun p -> e.coeffs.(perm.(p))) }
+
+let is_constant e = Intvec.is_zero e.coeffs
+
+let pp names ppf e =
+  let printed = ref false in
+  let pp_term coefficient symbol =
+    if coefficient <> 0 then begin
+      if !printed then
+        Format.pp_print_string ppf (if coefficient > 0 then "+" else "-")
+      else if coefficient < 0 then Format.pp_print_string ppf "-";
+      let a = abs coefficient in
+      (match symbol with
+      | Some s -> if a = 1 then Format.fprintf ppf "%s" s else Format.fprintf ppf "%d*%s" a s
+      | None -> Format.fprintf ppf "%d" a);
+      printed := true
+    end
+  in
+  Array.iteri (fun j c -> pp_term c (Some names.(j))) e.coeffs;
+  pp_term e.const None;
+  if not !printed then Format.fprintf ppf "0"
+
+let to_string names e = Format.asprintf "%a" (pp names) e

@@ -1,0 +1,51 @@
+(** Affine index expressions over the loop variables of a nest.
+
+    An expression [c0 + c1*i1 + ... + cd*id] is stored as a coefficient
+    vector indexed by loop depth (outermost loop first) plus a constant.
+    The dimension of the coefficient vector must equal the depth of the
+    enclosing loop nest. *)
+
+type t = { coeffs : Mlo_linalg.Intvec.t; const : int }
+
+val make : int list -> int -> t
+(** [make coeffs const] builds an expression from its coefficient list
+    (outermost loop first) and constant term. *)
+
+val const : int -> int -> t
+(** [const depth c] is the constant expression [c] in a nest of depth
+    [depth]. *)
+
+val var : int -> int -> t
+(** [var depth j] is the loop variable at depth [j] (0-indexed, outermost
+    first) in a nest of depth [depth]. *)
+
+val depth : t -> int
+(** Number of loop variables the expression ranges over. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+
+val eval : t -> Mlo_linalg.Intvec.t -> int
+(** [eval e iter] evaluates [e] at the iteration vector [iter].
+    Raises [Invalid_argument] on depth mismatch. *)
+
+val coeff : t -> int -> int
+(** [coeff e j] is the coefficient of the depth-[j] loop variable. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val permute : int array -> t -> t
+(** [permute perm e] rewrites [e] for a permuted loop nest: [perm.(p) = q]
+    means the loop at old depth [q] moves to new depth [p].  The resulting
+    expression's coefficient at new depth [p] is [coeff e perm.(p)]. *)
+
+val is_constant : t -> bool
+
+val pp : string array -> Format.formatter -> t -> unit
+(** [pp names ppf e] prints [e] using [names.(j)] for the depth-[j] loop
+    variable, e.g. ["i1+i2+3"]. *)
+
+val to_string : string array -> t -> string

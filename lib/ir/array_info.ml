@@ -1,0 +1,37 @@
+type t = { name : string; extents : int array; elem_size : int }
+
+let make ?(elem_size = 4) name extents =
+  if extents = [] then invalid_arg "Array_info.make: no dimensions";
+  if List.exists (fun e -> e <= 0) extents then
+    invalid_arg "Array_info.make: non-positive extent";
+  if elem_size <= 0 then invalid_arg "Array_info.make: non-positive elem_size";
+  { name; extents = Array.of_list extents; elem_size }
+
+let name a = a.name
+let rank a = Array.length a.extents
+let extents a = Array.copy a.extents
+let extent a i = a.extents.(i)
+let elem_size a = a.elem_size
+let cells a = Array.fold_left ( * ) 1 a.extents
+let size_bytes a = cells a * a.elem_size
+
+let equal a b =
+  String.equal a.name b.name
+  && a.extents = b.extents
+  && a.elem_size = b.elem_size
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.extents b.extents in
+    if c <> 0 then c else Int.compare a.elem_size b.elem_size
+
+let pp ppf a =
+  Format.fprintf ppf "%s[" a.name;
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf "][";
+      Format.fprintf ppf "%d" e)
+    a.extents;
+  Format.fprintf ppf "] (%dB elems)" a.elem_size

@@ -1,0 +1,31 @@
+(** Array declarations: name, per-dimension extents, element size.
+
+    Extents are constant (the benchmarks are embedded kernels with known
+    sizes); element size is in bytes and feeds the data-size accounting of
+    Table 1 and the address generation of the cache simulator. *)
+
+type t = private { name : string; extents : int array; elem_size : int }
+
+val make : ?elem_size:int -> string -> int list -> t
+(** [make name extents] declares array [name] with the given per-dimension
+    extents.  [elem_size] defaults to 4 bytes (32-bit words, matching the
+    embedded benchmarks).  Raises [Invalid_argument] if [extents] is empty,
+    any extent is [<= 0], or [elem_size <= 0]. *)
+
+val name : t -> string
+val rank : t -> int
+(** Number of dimensions. *)
+
+val extents : t -> int array
+val extent : t -> int -> int
+val elem_size : t -> int
+
+val cells : t -> int
+(** Total number of elements (product of extents). *)
+
+val size_bytes : t -> int
+(** [cells t * elem_size t]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type ctx = string array
+
+let ctx names =
+  if names = [] then invalid_arg "Builder.ctx: no variables";
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Builder.ctx: duplicate variables";
+  Array.of_list names
+
+let vars x = Array.to_list x
+
+let var x name =
+  let rec go j =
+    if j >= Array.length x then
+      invalid_arg (Printf.sprintf "Builder.var: unknown variable %s" name)
+    else if String.equal x.(j) name then Affine.var (Array.length x) j
+    else go (j + 1)
+  in
+  go 0
+
+let const x c = Affine.const (Array.length x) c
+let ( +: ) = Affine.add
+let ( -: ) = Affine.sub
+let ( *: ) = Affine.scale
+let read = Access.read
+let write = Access.write
+let loop ?(lo = 0) v hi = { Loop_nest.var = v; lo; hi }
+
+let nest name x his accesses =
+  if List.length his <> Array.length x then
+    invalid_arg "Builder.nest: bound count differs from context size";
+  let loops = List.map2 (fun v hi -> loop v hi) (vars x) his in
+  Loop_nest.make ~name loops accesses

@@ -1,0 +1,39 @@
+(** Readable construction of loop nests.
+
+    A [ctx] names the loop variables of the nest being built (outermost
+    first); index expressions are then written with [var]/[const] and the
+    [+:], [-:], [*:] operators, e.g.
+
+    {[
+      let x = Builder.ctx [ "i1"; "i2" ] in
+      Builder.(read "Q1" [ var x "i1" +: var x "i2"; var x "i2" ])
+    ]} *)
+
+type ctx
+
+val ctx : string list -> ctx
+(** Declares the loop variables of the nest, outermost first.  Raises
+    [Invalid_argument] on duplicates or an empty list. *)
+
+val vars : ctx -> string list
+
+val var : ctx -> string -> Affine.t
+(** The expression consisting of a single loop variable.  Raises
+    [Invalid_argument] if the name is not in the context. *)
+
+val const : ctx -> int -> Affine.t
+
+val ( +: ) : Affine.t -> Affine.t -> Affine.t
+val ( -: ) : Affine.t -> Affine.t -> Affine.t
+val ( *: ) : int -> Affine.t -> Affine.t
+
+val read : string -> Affine.t list -> Access.t
+val write : string -> Affine.t list -> Access.t
+
+val loop : ?lo:int -> string -> int -> Loop_nest.loop
+(** [loop v n] is [for (v = lo; v < n; v++)] with [lo] defaulting to 0. *)
+
+val nest : string -> ctx -> int list -> Access.t list -> Loop_nest.t
+(** [nest name x his accesses] builds a nest whose loops are the context
+    variables with upper bounds [his] (all lower bounds 0).  Raises
+    [Invalid_argument] if [his] length differs from the context size. *)

@@ -1,0 +1,18 @@
+let nest_cost nest =
+  Loop_nest.trip_count nest * Array.length (Loop_nest.accesses nest)
+
+let nest_weights prog =
+  let nests = Program.nests prog in
+  let costs = Array.map (fun n -> float_of_int (nest_cost n)) nests in
+  let total = Array.fold_left ( +. ) 0. costs in
+  if total = 0. then Array.map (fun _ -> 0.) costs
+  else Array.map (fun c -> c /. total) costs
+
+let ranked_nests prog =
+  let nests = Program.nests prog in
+  let indexed = Array.to_list (Array.mapi (fun i n -> (i, n)) nests) in
+  List.stable_sort
+    (fun (i1, n1) (i2, n2) ->
+      let c = Int.compare (nest_cost n2) (nest_cost n1) in
+      if c <> 0 then c else Int.compare i1 i2)
+    indexed

@@ -1,0 +1,15 @@
+(** Nest importance for the heuristic baseline and weighted constraints.
+
+    The paper's heuristic "orders the loop nests according to an importance
+    criterion (e.g., time taken by each nest)"; we use the iteration count
+    times the number of references — a static proxy for memory time. *)
+
+val nest_cost : Loop_nest.t -> int
+(** [trip_count * number of accesses]: total references issued. *)
+
+val nest_weights : Program.t -> float array
+(** Per-nest cost normalized to sum to 1, in program order. *)
+
+val ranked_nests : Program.t -> (int * Loop_nest.t) list
+(** Nests with their program-order index, sorted by decreasing cost
+    (most important first); ties broken by program order. *)

@@ -1,0 +1,159 @@
+module Intvec = Mlo_linalg.Intvec
+module Intmat = Mlo_linalg.Intmat
+module Rat = Mlo_linalg.Rat
+module Nullspace = Mlo_linalg.Nullspace
+
+type distance = Exact of Intvec.t | Unknown
+
+let lex_sign v =
+  match Intvec.first_nonzero v with
+  | None -> 0
+  | Some i -> if v.(i) > 0 then 1 else -1
+
+(* Solve F d = b over the rationals by Gauss-Jordan on [F | b].
+   Returns [None] if inconsistent, [Some (d0, nullity)] with [d0] the
+   particular solution taking all free variables to 0 (when integral),
+   and the nullspace dimension. *)
+let solve_particular f b =
+  let r = Intmat.rows f and c = Intmat.cols f in
+  let m =
+    Array.init r (fun i ->
+        Array.init (c + 1) (fun j ->
+            Rat.of_int (if j < c then f.(i).(j) else b.(i))))
+  in
+  let pivots = ref [] in
+  let pr = ref 0 in
+  for j = 0 to c - 1 do
+    if !pr < r then begin
+      let rec find i =
+        if i >= r then None
+        else if not (Rat.is_zero m.(i).(j)) then Some i
+        else find (i + 1)
+      in
+      match find !pr with
+      | None -> ()
+      | Some i ->
+        let tmp = m.(!pr) in
+        m.(!pr) <- m.(i);
+        m.(i) <- tmp;
+        let p = m.(!pr).(j) in
+        for j' = 0 to c do
+          m.(!pr).(j') <- Rat.div m.(!pr).(j') p
+        done;
+        for i' = 0 to r - 1 do
+          if i' <> !pr && not (Rat.is_zero m.(i').(j)) then begin
+            let fct = m.(i').(j) in
+            for j' = 0 to c do
+              m.(i').(j') <- Rat.sub m.(i').(j') (Rat.mul fct m.(!pr).(j'))
+            done
+          end
+        done;
+        pivots := (!pr, j) :: !pivots;
+        incr pr
+    end
+  done;
+  let pivots = List.rev !pivots in
+  (* inconsistent iff some zero row has nonzero rhs *)
+  let inconsistent =
+    let rec check i =
+      if i >= r then false
+      else
+        let zero_lhs =
+          let rec z j = j >= c || (Rat.is_zero m.(i).(j) && z (j + 1)) in
+          z 0
+        in
+        if zero_lhs && not (Rat.is_zero m.(i).(c)) then true else check (i + 1)
+    in
+    check 0
+  in
+  if inconsistent then None
+  else begin
+    let d0 = Array.make c Rat.zero in
+    List.iter (fun (i, j) -> d0.(j) <- m.(i).(c)) pivots;
+    let integral = Array.for_all (fun x -> Rat.den x = 1) d0 in
+    let nullity = c - List.length pivots in
+    if integral then Some (Array.map Rat.num d0, nullity) else Some ([||], nullity)
+    (* [||] signals a rational-only particular solution: for dependence
+       purposes, a non-integral unique solution means no integer
+       dependence when nullity = 0; with free variables integral points
+       may still exist, so callers must treat it conservatively. *)
+  end
+
+(* Per-dimension GCD test for a non-uniform pair: f1(I) = f2(I') has an
+   integer solution in (I, I') only if gcd of all coefficients divides the
+   constant difference, for every array dimension. *)
+let gcd_test a1 a2 =
+  let m1 = Access.matrix a1 and m2 = Access.matrix a2 in
+  let o1 = Access.offset a1 and o2 = Access.offset a2 in
+  let dims = Intmat.rows m1 in
+  let solvable = ref true in
+  for r = 0 to dims - 1 do
+    let g = ref 0 in
+    Array.iter (fun x -> g := Intvec.gcd !g x) m1.(r);
+    Array.iter (fun x -> g := Intvec.gcd !g x) m2.(r);
+    let diff = o2.(r) - o1.(r) in
+    if !g = 0 then begin
+      if diff <> 0 then solvable := false
+    end
+    else if diff mod !g <> 0 then solvable := false
+  done;
+  !solvable
+
+let pair_distance a1 a2 =
+  let m1 = Access.matrix a1 and m2 = Access.matrix a2 in
+  if Intmat.equal m1 m2 then begin
+    (* uniform: F d = o1 - o2 *)
+    let b = Intvec.sub (Access.offset a1) (Access.offset a2) in
+    match solve_particular m1 b with
+    | None -> []
+    | Some (d0, 0) ->
+      if Array.length d0 = 0 then [] (* unique but non-integral: no dep *)
+      else if Intvec.is_zero d0 then [] (* loop-independent *)
+      else [ Exact (if lex_sign d0 < 0 then Intvec.neg d0 else d0) ]
+    | Some (d0, 1) when Array.length d0 > 0 && Intvec.is_zero d0 ->
+      (* homogeneous with a one-dimensional solution line: distances are
+         the multiples of the basis vector *)
+      (match Nullspace.basis m1 with
+      | [ n ] -> [ Exact n ]
+      | _ -> [ Unknown ])
+    | Some _ -> [ Unknown ]
+  end
+  else if gcd_test a1 a2 then [ Unknown ]
+  else []
+
+let distances nest =
+  let accs = Loop_nest.accesses nest in
+  let out = ref [] in
+  let n = Array.length accs in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a1 = accs.(i) and a2 = accs.(j) in
+      if
+        String.equal (Access.array_name a1) (Access.array_name a2)
+        && (Access.is_write a1 || Access.is_write a2)
+        && not (i = j && not (Access.is_write a1))
+      then out := pair_distance a1 a2 @ !out
+    done
+  done;
+  !out
+
+let is_identity perm =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) perm;
+  !ok
+
+let legal_permutation nest perm =
+  if is_identity perm then true
+  else
+    let apply d = Array.init (Array.length perm) (fun p -> d.(perm.(p))) in
+    List.for_all
+      (fun dist ->
+        match dist with
+        | Unknown -> false
+        | Exact d -> lex_sign (apply d) >= 0)
+      (distances nest)
+
+let legal_permutations nest =
+  List.filter
+    (fun (perm, _) -> legal_permutation nest perm)
+    (Loop_nest.permutations nest)

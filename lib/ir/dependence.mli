@@ -1,0 +1,36 @@
+(** Data-dependence analysis for loop-permutation legality.
+
+    Data transformations need no legality check (the paper's motivation),
+    but the network generator also enumerates {e loop restructurings} of
+    each nest, and those must preserve dependences.  A loop permutation is
+    legal iff every dependence distance vector stays lexicographically
+    non-negative after its components are permuted.
+
+    The analysis is exact for uniformly generated references (equal access
+    matrices): distances solve [F d = o2 - o1].  Non-uniform pairs are
+    first subjected to a per-dimension GCD independence test; if that
+    cannot rule the dependence out, the pair is treated conservatively as
+    a dependence of unknown direction, which pins the nest to its original
+    loop order. *)
+
+type distance =
+  | Exact of Mlo_linalg.Intvec.t
+      (** A concrete distance vector (lexicographically non-negative). *)
+  | Unknown
+      (** Conservative: direction unknown, only the identity order is
+          safe. *)
+
+val distances : Loop_nest.t -> distance list
+(** Dependence distances between every ordered pair of references to the
+    same array in which at least one reference writes.  Loop-independent
+    dependences (zero distance) are omitted: they are preserved by any
+    permutation of a single statement body. *)
+
+val legal_permutation : Loop_nest.t -> int array -> bool
+(** [legal_permutation nest perm] is true iff applying [perm] (new depth
+    [p] takes old loop [perm.(p)]) preserves every dependence of [nest].
+    The identity permutation is always legal. *)
+
+val legal_permutations : Loop_nest.t -> (int array * Loop_nest.t) list
+(** The subset of {!Loop_nest.permutations} that is dependence-legal
+    (always includes the identity, listed first). *)

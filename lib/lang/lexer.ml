@@ -1,0 +1,122 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Kw_array
+  | Kw_elem
+  | Kw_nest
+  | Kw_for
+  | Kw_load
+  | Kw_store
+  | Lbracket
+  | Rbracket
+  | Equals
+  | Dotdot
+  | Plus
+  | Minus
+  | Star
+  | Colon
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let keyword = function
+  | "array" -> Some Kw_array
+  | "elem" -> Some Kw_elem
+  | "nest" -> Some Kw_nest
+  | "for" -> Some Kw_for
+  | "load" -> Some Kw_load
+  | "store" -> Some Kw_store
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let emit token l c = out := { token; line = l; col = c } :: !out in
+  let i = ref 0 in
+  let advance () =
+    if !i < n then begin
+      if src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (Int v) l0 c0
+      | None -> raise (Error (Printf.sprintf "number too large: %s" text, l0, c0))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword text with
+      | Some kw -> emit kw l0 c0
+      | None -> emit (Ident text) l0 c0
+    end
+    else begin
+      match c with
+      | '[' -> emit Lbracket l0 c0; advance ()
+      | ']' -> emit Rbracket l0 c0; advance ()
+      | '=' -> emit Equals l0 c0; advance ()
+      | '+' -> emit Plus l0 c0; advance ()
+      | '-' -> emit Minus l0 c0; advance ()
+      | '*' -> emit Star l0 c0; advance ()
+      | ':' -> emit Colon l0 c0; advance ()
+      | '.' ->
+        advance ();
+        if !i < n && src.[!i] = '.' then begin
+          advance ();
+          emit Dotdot l0 c0
+        end
+        else raise (Error ("expected '..'", l0, c0))
+      | _ -> raise (Error (Printf.sprintf "illegal character %C" c, l0, c0))
+    end
+  done;
+  emit Eof !line !col;
+  List.rev !out
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int v -> Printf.sprintf "integer %d" v
+  | Kw_array -> "'array'"
+  | Kw_elem -> "'elem'"
+  | Kw_nest -> "'nest'"
+  | Kw_for -> "'for'"
+  | Kw_load -> "'load'"
+  | Kw_store -> "'store'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Equals -> "'='"
+  | Dotdot -> "'..'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Colon -> "':'"
+  | Eof -> "end of input"

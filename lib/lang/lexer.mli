@@ -1,0 +1,37 @@
+(** Tokenizer for the textual loop-nest language.
+
+    The language is line-oriented only in its comments ([#] to end of
+    line); tokens otherwise flow freely.  Every token carries the line
+    and column where it starts (1-based), which the parser propagates
+    into error messages. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Kw_array
+  | Kw_elem
+  | Kw_nest
+  | Kw_for
+  | Kw_load
+  | Kw_store
+  | Lbracket
+  | Rbracket
+  | Equals
+  | Dotdot
+  | Plus
+  | Minus
+  | Star
+  | Colon
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+(** [Error (message, line, col)]. *)
+
+val tokenize : string -> located list
+(** Tokenizes a whole source string; the last element is always [Eof].
+    Raises {!Error} on an illegal character or malformed number. *)
+
+val describe : token -> string
+(** Human name for error messages, e.g. ["'['"] or ["identifier"]. *)

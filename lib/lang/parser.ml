@@ -1,0 +1,290 @@
+module Affine = Mlo_ir.Affine
+module Access = Mlo_ir.Access
+module Loop_nest = Mlo_ir.Loop_nest
+module Array_info = Mlo_ir.Array_info
+module Program = Mlo_ir.Program
+
+exception Error of string * int * int
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+
+let next st =
+  let t = st.toks.(st.pos) in
+  if t.Lexer.token <> Lexer.Eof then st.pos <- st.pos + 1;
+  t
+
+let fail_at (t : Lexer.located) msg = raise (Error (msg, t.Lexer.line, t.Lexer.col))
+
+let expect st want =
+  let t = next st in
+  if t.Lexer.token <> want then
+    fail_at t
+      (Printf.sprintf "expected %s, found %s" (Lexer.describe want)
+         (Lexer.describe t.Lexer.token))
+
+let expect_int st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.Int v -> v
+  | Lexer.Minus -> (
+    let t2 = next st in
+    match t2.Lexer.token with
+    | Lexer.Int v -> -v
+    | other -> fail_at t2 ("expected integer, found " ^ Lexer.describe other))
+  | other -> fail_at t ("expected integer, found " ^ Lexer.describe other)
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.Ident s -> s
+  | other -> fail_at t ("expected identifier, found " ^ Lexer.describe other)
+
+(* ------------------------------------------------------------------ *)
+(* Index-expression AST (depth-independent)                             *)
+(* ------------------------------------------------------------------ *)
+
+type term = { coeff : int; var : string option; tline : int; tcol : int }
+
+type access_ast = {
+  kind : Access.kind;
+  array_name : string;
+  indices : term list list;
+}
+
+(* term := INT | IDENT | INT '*' IDENT, with an optional leading sign
+   handled by the caller *)
+let parse_term st ~sign =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Int v ->
+    ignore (next st);
+    if peek st |> fun p -> p.Lexer.token = Lexer.Star then begin
+      ignore (next st);
+      let name = expect_ident st in
+      { coeff = sign * v; var = Some name; tline = t.Lexer.line; tcol = t.Lexer.col }
+    end
+    else { coeff = sign * v; var = None; tline = t.Lexer.line; tcol = t.Lexer.col }
+  | Lexer.Ident name ->
+    ignore (next st);
+    { coeff = sign; var = Some name; tline = t.Lexer.line; tcol = t.Lexer.col }
+  | other -> fail_at t ("expected index term, found " ^ Lexer.describe other)
+
+let parse_expr st =
+  let leading_sign =
+    match (peek st).Lexer.token with
+    | Lexer.Minus ->
+      ignore (next st);
+      -1
+    | Lexer.Plus ->
+      ignore (next st);
+      1
+    | Lexer.Int _ | Lexer.Ident _ | Lexer.Kw_array | Lexer.Kw_elem
+    | Lexer.Kw_nest | Lexer.Kw_for | Lexer.Kw_load | Lexer.Kw_store
+    | Lexer.Lbracket | Lexer.Rbracket | Lexer.Equals | Lexer.Dotdot
+    | Lexer.Star | Lexer.Colon | Lexer.Eof -> 1
+  in
+  let first = parse_term st ~sign:leading_sign in
+  let rec more acc =
+    match (peek st).Lexer.token with
+    | Lexer.Plus ->
+      ignore (next st);
+      more (parse_term st ~sign:1 :: acc)
+    | Lexer.Minus ->
+      ignore (next st);
+      more (parse_term st ~sign:(-1) :: acc)
+    | Lexer.Int _ | Lexer.Ident _ | Lexer.Kw_array | Lexer.Kw_elem
+    | Lexer.Kw_nest | Lexer.Kw_for | Lexer.Kw_load | Lexer.Kw_store
+    | Lexer.Lbracket | Lexer.Rbracket | Lexer.Equals | Lexer.Dotdot
+    | Lexer.Star | Lexer.Colon | Lexer.Eof -> List.rev acc
+  in
+  more [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Declarations, accesses, loops                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_decl st =
+  (* 'array' already consumed *)
+  let name = expect_ident st in
+  let rec dims acc =
+    match (peek st).Lexer.token with
+    | Lexer.Lbracket ->
+      ignore (next st);
+      let e = expect_int st in
+      expect st Lexer.Rbracket;
+      dims (e :: acc)
+    | _ -> List.rev acc
+  in
+  let extents = dims [] in
+  if extents = [] then fail_at (peek st) "array needs at least one dimension";
+  let elem_size =
+    match (peek st).Lexer.token with
+    | Lexer.Kw_elem ->
+      ignore (next st);
+      expect_int st
+    | _ -> 4
+  in
+  let t = peek st in
+  match Array_info.make ~elem_size name extents with
+  | info -> info
+  | exception Invalid_argument msg -> fail_at t msg
+
+let parse_access st =
+  let kw = next st in
+  let kind =
+    match kw.Lexer.token with
+    | Lexer.Kw_load -> Access.Read
+    | Lexer.Kw_store -> Access.Write
+    | other -> fail_at kw ("expected 'load' or 'store', found " ^ Lexer.describe other)
+  in
+  let array_name = expect_ident st in
+  let rec indices acc =
+    match (peek st).Lexer.token with
+    | Lexer.Lbracket ->
+      ignore (next st);
+      let e = parse_expr st in
+      expect st Lexer.Rbracket;
+      indices (e :: acc)
+    | _ -> List.rev acc
+  in
+  let idx = indices [] in
+  if idx = [] then fail_at kw "access needs at least one index";
+  { kind; array_name; indices = idx }
+
+(* loop := 'for' IDENT '=' INT '..' INT body *)
+let rec parse_loop st =
+  expect st Lexer.Kw_for;
+  let var = expect_ident st in
+  expect st Lexer.Equals;
+  let lo = expect_int st in
+  expect st Lexer.Dotdot;
+  let hi_inclusive = expect_int st in
+  let loop = { Loop_nest.var; lo; hi = hi_inclusive + 1 } in
+  match (peek st).Lexer.token with
+  | Lexer.Kw_for ->
+    let loops, accesses = parse_loop st in
+    (loop :: loops, accesses)
+  | Lexer.Kw_load | Lexer.Kw_store ->
+    let rec accs acc =
+      match (peek st).Lexer.token with
+      | Lexer.Kw_load | Lexer.Kw_store -> accs (parse_access st :: acc)
+      | _ -> List.rev acc
+    in
+    ([ loop ], accs [])
+  | other ->
+    fail_at (peek st)
+      ("expected a nested 'for' or an access, found " ^ Lexer.describe other)
+
+let materialize_access ~vars ast =
+  let depth = List.length vars in
+  let expr_of terms =
+    List.fold_left
+      (fun acc { coeff; var; tline; tcol } ->
+        match var with
+        | None -> Affine.add acc (Affine.const depth coeff)
+        | Some name -> (
+          match List.assoc_opt name vars with
+          | Some d -> Affine.add acc (Affine.scale coeff (Affine.var depth d))
+          | None ->
+            raise (Error (Printf.sprintf "unknown loop variable %s" name, tline, tcol))))
+      (Affine.const depth 0) terms
+  in
+  Access.make ast.kind ast.array_name (List.map expr_of ast.indices)
+
+let parse_nest st =
+  (* 'nest' already consumed *)
+  let t0 = peek st in
+  let name = expect_ident st in
+  expect st Lexer.Colon;
+  let loops, access_asts = parse_loop st in
+  let vars = List.mapi (fun d l -> (l.Loop_nest.var, d)) loops in
+  let accesses = List.map (materialize_access ~vars) access_asts in
+  match Loop_nest.make ~name loops accesses with
+  | nest -> nest
+  | exception Invalid_argument msg -> fail_at t0 msg
+
+let parse ~name source =
+  let toks = Array.of_list (Lexer.tokenize source) in
+  let st = { toks; pos = 0 } in
+  let rec decls acc =
+    match (peek st).Lexer.token with
+    | Lexer.Kw_array ->
+      ignore (next st);
+      decls (parse_decl st :: acc)
+    | _ -> List.rev acc
+  in
+  let arrays = decls [] in
+  let rec nests acc =
+    match (peek st).Lexer.token with
+    | Lexer.Kw_nest ->
+      ignore (next st);
+      nests (parse_nest st :: acc)
+    | Lexer.Eof -> List.rev acc
+    | other ->
+      fail_at (peek st) ("expected 'nest' or end of input, found " ^ Lexer.describe other)
+  in
+  let nests = nests [] in
+  match Program.make ~name arrays nests with
+  | prog -> prog
+  | exception Invalid_argument msg -> raise (Error (msg, 0, 0))
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  try parse ~name:(Filename.basename path) source
+  with Lexer.Error (msg, l, c) -> raise (Error (msg, l, c))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_source prog =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# program %s\n" (Program.name prog));
+  Array.iter
+    (fun info ->
+      Buffer.add_string buf (Printf.sprintf "array %s" (Array_info.name info));
+      Array.iter
+        (fun e -> Buffer.add_string buf (Printf.sprintf "[%d]" e))
+        (Array_info.extents info);
+      if Array_info.elem_size info <> 4 then
+        Buffer.add_string buf (Printf.sprintf " elem %d" (Array_info.elem_size info));
+      Buffer.add_char buf '\n')
+    (Program.arrays prog);
+  Array.iter
+    (fun nest ->
+      Buffer.add_string buf (Printf.sprintf "\nnest %s:\n" (Loop_nest.name nest));
+      let names = Loop_nest.var_names nest in
+      Array.iteri
+        (fun level l ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sfor %s = %d .. %d\n"
+               (String.make (2 * (level + 1)) ' ')
+               l.Loop_nest.var l.Loop_nest.lo (l.Loop_nest.hi - 1)))
+        (Loop_nest.loops nest);
+      let indent = String.make (2 * (Loop_nest.depth nest + 1)) ' ' in
+      Array.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s" indent
+               (match Access.kind a with
+               | Access.Read -> "load"
+               | Access.Write -> "store")
+               (Access.array_name a));
+          Array.iter
+            (fun e ->
+              Buffer.add_string buf
+                (Printf.sprintf "[%s]" (Affine.to_string names e)))
+            a.Access.indices;
+          Buffer.add_char buf '\n')
+        (Loop_nest.accesses nest))
+    (Program.nests prog);
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+module Intvec = Mlo_linalg.Intvec
+
+type t = Intvec.t
+
+let make v =
+  if Intvec.is_zero v then invalid_arg "Hyperplane.make: zero vector";
+  Intvec.canonical v
+
+let of_list xs = make (Intvec.of_list xs)
+let dim = Intvec.dim
+let to_vec = Intvec.copy
+let coeffs = Intvec.to_list
+
+let check_dim name k =
+  if k < 1 then invalid_arg (name ^ ": dimension must be positive")
+
+let row_major k =
+  check_dim "Hyperplane.row_major" k;
+  Intvec.unit k 0
+
+let col_major k =
+  check_dim "Hyperplane.col_major" k;
+  Intvec.unit k (k - 1)
+
+let diag_like name second k =
+  check_dim name k;
+  if k < 2 then invalid_arg (name ^ ": dimension must be at least 2");
+  let v = Intvec.zero k in
+  v.(0) <- 1;
+  v.(1) <- second;
+  v
+
+let diagonal k = diag_like "Hyperplane.diagonal" (-1) k
+let anti_diagonal k = diag_like "Hyperplane.anti_diagonal" 1 k
+let axis k i = Intvec.unit k i
+let same_member y d1 d2 = Intvec.dot y d1 = Intvec.dot y d2
+let constant_of y d = Intvec.dot y d
+let orthogonal_to y delta = Intvec.dot y delta = 0
+let equal = Intvec.equal
+let compare = Intvec.compare
+let hash = Intvec.hash
+
+let describe y =
+  if Intvec.equal y (row_major (dim y)) then "row-major"
+  else if Intvec.equal y (col_major (dim y)) then "column-major"
+  else if dim y >= 2 && Intvec.equal y (diagonal (dim y)) then "diagonal"
+  else if dim y >= 2 && Intvec.equal y (anti_diagonal (dim y)) then
+    "anti-diagonal"
+  else Intvec.to_string y
+
+let pp ppf y = Intvec.pp ppf y

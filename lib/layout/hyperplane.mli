@@ -1,0 +1,59 @@
+(** Hyperplane families in array data space (the paper's Section 2).
+
+    A hyperplane family in k-dimensional data space is the set of parallel
+    hyperplanes [{ d | y . d = c }] for a fixed coefficient vector [y] and
+    varying constant [c].  Two array elements lie on the same member of
+    the family iff [y . d1 = y . d2].  Values of this type are always in
+    canonical form: primitive (component gcd 1) with positive leading
+    nonzero component, so structural equality coincides with family
+    equality. *)
+
+type t = private Mlo_linalg.Intvec.t
+
+val make : Mlo_linalg.Intvec.t -> t
+(** Canonicalizes the given coefficient vector.  Raises [Invalid_argument]
+    on the zero vector (which describes no hyperplane family). *)
+
+val of_list : int list -> t
+
+val dim : t -> int
+val to_vec : t -> Mlo_linalg.Intvec.t
+val coeffs : t -> int list
+
+val row_major : int -> t
+(** [(1 0 ... 0)]: same hyperplane iff same leading index. *)
+
+val col_major : int -> t
+(** [(0 ... 0 1)]: same hyperplane iff same trailing index. *)
+
+val diagonal : int -> t
+(** [(1 -1 0 ... 0)], the paper's diagonal layout for 2-D arrays. *)
+
+val anti_diagonal : int -> t
+(** [(1 1 0 ... 0)], the paper's anti-diagonal layout. *)
+
+val axis : int -> int -> t
+(** [axis k i] is the [i]-th standard basis hyperplane in dimension [k]. *)
+
+val same_member : t -> Mlo_linalg.Intvec.t -> Mlo_linalg.Intvec.t -> bool
+(** [same_member y d1 d2] is true iff elements [d1] and [d2] lie on the
+    same hyperplane of the family [y]. *)
+
+val constant_of : t -> Mlo_linalg.Intvec.t -> int
+(** The hyperplane constant [c = y . d] identifying which member of the
+    family the element [d] lies on. *)
+
+val orthogonal_to : t -> Mlo_linalg.Intvec.t -> bool
+(** [orthogonal_to y delta] is [y . delta = 0]: successive accesses whose
+    touched elements differ by [delta] stay on one hyperplane, i.e. the
+    family provides spatial locality for that access pattern. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val describe : t -> string
+(** Human name when one exists: ["row-major"], ["column-major"],
+    ["diagonal"], ["anti-diagonal"], otherwise the coefficient tuple. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+module Intvec = Mlo_linalg.Intvec
+module Intmat = Mlo_linalg.Intmat
+
+type t = { rank : int; hyperplanes : Hyperplane.t list }
+
+let make ~rank hyperplanes =
+  if rank < 1 then invalid_arg "Layout.make: rank must be positive";
+  let expected = max 0 (rank - 1) in
+  if List.length hyperplanes <> expected then
+    invalid_arg
+      (Printf.sprintf "Layout.make: rank %d needs %d hyperplanes, got %d" rank
+         expected
+         (List.length hyperplanes));
+  List.iter
+    (fun y ->
+      if Hyperplane.dim y <> rank then
+        invalid_arg "Layout.make: hyperplane dimension differs from rank")
+    hyperplanes;
+  if expected > 0 then begin
+    let m = Intmat.of_rows (List.map Hyperplane.to_vec hyperplanes) in
+    if Intmat.rank m <> expected then
+      invalid_arg "Layout.make: hyperplanes linearly dependent"
+  end;
+  { rank; hyperplanes }
+
+let of_hyperplane y =
+  if Hyperplane.dim y <> 2 then
+    invalid_arg "Layout.of_hyperplane: dimension must be 2";
+  make ~rank:2 [ y ]
+
+let trivial = { rank = 1; hyperplanes = [] }
+let rank l = l.rank
+let hyperplanes l = l.hyperplanes
+
+let leading l =
+  match l.hyperplanes with [] -> None | y :: _ -> Some y
+
+let row_major k =
+  make ~rank:k (List.init (max 0 (k - 1)) (fun i -> Hyperplane.axis k i))
+
+let col_major k =
+  make ~rank:k (List.init (max 0 (k - 1)) (fun i -> Hyperplane.axis k (k - 1 - i)))
+
+let diagonal2 = of_hyperplane (Hyperplane.diagonal 2)
+let anti_diagonal2 = of_hyperplane (Hyperplane.anti_diagonal 2)
+
+let colocated l d1 d2 =
+  List.for_all (fun y -> Hyperplane.same_member y d1 d2) l.hyperplanes
+
+let serves l delta =
+  Intvec.is_zero delta
+  || List.for_all (fun y -> Hyperplane.orthogonal_to y delta) l.hyperplanes
+
+let equal a b =
+  a.rank = b.rank && List.equal Hyperplane.equal a.hyperplanes b.hyperplanes
+
+let compare a b =
+  let c = Int.compare a.rank b.rank in
+  if c <> 0 then c else List.compare Hyperplane.compare a.hyperplanes b.hyperplanes
+
+let hash l =
+  List.fold_left (fun acc y -> (acc * 131) + Hyperplane.hash y) l.rank
+    l.hyperplanes
+
+let describe l =
+  if l.rank = 1 then "linear"
+  else if equal l (row_major l.rank) then "row-major"
+  else if equal l (col_major l.rank) then "column-major"
+  else if l.rank = 2 then
+    (match l.hyperplanes with
+    | [ y ] -> Hyperplane.describe y
+    | [] | _ :: _ :: _ -> assert false)
+  else
+    String.concat ";" (List.map Hyperplane.describe l.hyperplanes)
+
+let pp ppf l =
+  match l.hyperplanes with
+  | [] -> Format.fprintf ppf "<linear>"
+  | [ y ] -> Hyperplane.pp ppf y
+  | ys ->
+    Format.fprintf ppf "[";
+    List.iteri
+      (fun i y ->
+        if i > 0 then Format.fprintf ppf "; ";
+        Hyperplane.pp ppf y)
+      ys;
+    Format.fprintf ppf "]"

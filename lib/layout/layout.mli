@@ -1,0 +1,58 @@
+(** Complete memory layouts for k-dimensional arrays.
+
+    Following the paper's Section 2, the layout of a k-dimensional array
+    is an ordered set of k-1 linearly independent hyperplane families
+    [Y1 .. Y_{k-1}]: two elements are adjacent along the fastest-varying
+    storage direction iff they agree on all k-1 families.  For 2-D arrays
+    this degenerates to a single hyperplane vector ([(1 0)] row-major,
+    [(0 1)] column-major, [(1 -1)] diagonal, ...); 1-D arrays admit a
+    single trivial layout. *)
+
+type t = private { rank : int; hyperplanes : Hyperplane.t list }
+
+val make : rank:int -> Hyperplane.t list -> t
+(** Builds a layout.  Raises [Invalid_argument] unless the list contains
+    exactly [max 0 (rank - 1)] hyperplanes, each of dimension [rank], and
+    they are linearly independent. *)
+
+val of_hyperplane : Hyperplane.t -> t
+(** 2-D convenience: [of_hyperplane y] = [make ~rank:2 [y]].  Raises
+    [Invalid_argument] if [dim y <> 2]. *)
+
+val trivial : t
+(** The unique layout of 1-D arrays. *)
+
+val rank : t -> int
+val hyperplanes : t -> Hyperplane.t list
+
+val leading : t -> Hyperplane.t option
+(** The first (most significant) hyperplane family; [None] for rank 1. *)
+
+val row_major : int -> t
+(** Standard C layout: hyperplanes [e0, e1, .., e_{k-2}]. *)
+
+val col_major : int -> t
+(** Fortran layout: hyperplanes [e_{k-1}, .., e1]. *)
+
+val diagonal2 : t
+(** 2-D diagonal layout [(1 -1)]. *)
+
+val anti_diagonal2 : t
+(** 2-D anti-diagonal layout [(1 1)]. *)
+
+val colocated : t -> Mlo_linalg.Intvec.t -> Mlo_linalg.Intvec.t -> bool
+(** [colocated l d1 d2] is true iff [d1] and [d2] lie in the same
+    fastest-varying storage line, i.e. agree on every hyperplane family of
+    the layout (always true for rank 1). *)
+
+val serves : t -> Mlo_linalg.Intvec.t -> bool
+(** [serves l delta] is true iff successive accesses separated by the data-
+    space difference [delta] enjoy spatial locality under [l]: every
+    hyperplane family of [l] is orthogonal to [delta].  The zero [delta]
+    (temporal reuse) is served by every layout. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

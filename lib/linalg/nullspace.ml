@@ -1,0 +1,72 @@
+(* Nullspace by rational reduced row echelon form.  For each free column f
+   the corresponding basis vector sets x_f = 1 and x_{p_i} = -rref(i, f)
+   for pivot columns p_i; denominators are then cleared and the result is
+   put in canonical (primitive, sign-fixed) form. *)
+
+let rref a =
+  let r = Intmat.rows a and c = Intmat.cols a in
+  let m = Array.init r (fun i -> Array.map Rat.of_int a.(i)) in
+  let pivots = ref [] in
+  let pr = ref 0 in
+  for j = 0 to c - 1 do
+    if !pr < r then begin
+      let rec find i =
+        if i >= r then None
+        else if not (Rat.is_zero m.(i).(j)) then Some i
+        else find (i + 1)
+      in
+      match find !pr with
+      | None -> ()
+      | Some i ->
+        let tmp = m.(!pr) in
+        m.(!pr) <- m.(i);
+        m.(i) <- tmp;
+        let p = m.(!pr).(j) in
+        for j' = 0 to c - 1 do
+          m.(!pr).(j') <- Rat.div m.(!pr).(j') p
+        done;
+        for i' = 0 to r - 1 do
+          if i' <> !pr && not (Rat.is_zero m.(i').(j)) then begin
+            let f = m.(i').(j) in
+            for j' = 0 to c - 1 do
+              m.(i').(j') <- Rat.sub m.(i').(j') (Rat.mul f m.(!pr).(j'))
+            done
+          end
+        done;
+        pivots := (!pr, j) :: !pivots;
+        incr pr
+    end
+  done;
+  (m, List.rev !pivots)
+
+let lcm a b = if a = 0 || b = 0 then abs (a + b) else abs (a / Intvec.gcd a b * b)
+
+let basis a =
+  let c = Intmat.cols a in
+  if c = 0 then []
+  else if Intmat.rows a = 0 then
+    List.init c (fun i -> Intvec.unit c i)
+  else begin
+    let m, pivots = rref a in
+    let pivot_cols = List.map snd pivots in
+    let is_pivot j = List.mem j pivot_cols in
+    let free_cols =
+      List.filter (fun j -> not (is_pivot j)) (List.init c Fun.id)
+    in
+    let vector_for f =
+      (* rational solution with x_f = 1 *)
+      let x = Array.make c Rat.zero in
+      x.(f) <- Rat.one;
+      List.iter (fun (i, p) -> x.(p) <- Rat.neg m.(i).(f)) pivots;
+      (* clear denominators *)
+      let l = Array.fold_left (fun acc r -> lcm acc (Rat.den r)) 1 x in
+      let v = Array.map (fun r -> Rat.num r * (l / Rat.den r)) x in
+      Intvec.canonical v
+    in
+    List.map vector_for free_cols
+  end
+
+let left_basis a = basis (Intmat.transpose a)
+
+let orthogonal ds y = List.for_all (fun d -> Intvec.dot y d = 0) ds
+let member a x = Intvec.is_zero (Intmat.mul_vec a x)

@@ -1,0 +1,86 @@
+(* Extended gcd: egcd a b = (g, u, v) with u*a + v*b = g = gcd a b, g >= 0. *)
+let rec egcd a b =
+  if b = 0 then
+    if a >= 0 then (a, 1, 0) else (-a, -1, 0)
+  else
+    let g, u, v = egcd b (a mod b) in
+    (g, v, u - (a / b * v))
+
+(* Unimodular completion of a primitive vector, by induction on dimension.
+
+   For y = (a1, a2 .. ak) with g = gcd(a2..ak) and v = (a2..ak)/g primitive:
+   recursively complete v to a unimodular V with first row v, and pick u, w
+   with u*a1 + w*g = 1.  Then
+       [ a1    g*v      ]
+       [ -w    u*v      ]
+       [ 0     V[1..]   ]
+   is unimodular with first row y (checked by cofactor expansion along the
+   first column; both minors reduce to det V up to the Bezout identity). *)
+let rec complete_primitive y =
+  let k = Intvec.dim y in
+  if k = 0 then invalid_arg "Unimodular.complete_primitive: empty vector";
+  if Intvec.content y <> 1 then
+    invalid_arg "Unimodular.complete_primitive: vector not primitive";
+  if k = 1 then [| [| y.(0) |] |]
+  else begin
+    let a1 = y.(0) in
+    let rest = Array.sub y 1 (k - 1) in
+    if Intvec.is_zero rest then begin
+      (* gcd(a1) = 1 so a1 = +-1: diag(a1, 1, .., 1) works. *)
+      let m = Intmat.identity k in
+      m.(0).(0) <- a1;
+      m
+    end
+    else begin
+      let g = Intvec.content rest in
+      let v = Array.map (fun x -> x / g) rest in
+      let vm = complete_primitive v in
+      let _, u, w = egcd a1 g in
+      let m = Intmat.make k k 0 in
+      m.(0).(0) <- a1;
+      for j = 1 to k - 1 do
+        m.(0).(j) <- g * v.(j - 1)
+      done;
+      m.(1).(0) <- -w;
+      for j = 1 to k - 1 do
+        m.(1).(j) <- u * v.(j - 1)
+      done;
+      for i = 2 to k - 1 do
+        for j = 1 to k - 1 do
+          m.(i).(j) <- vm.(i - 1).(j - 1)
+        done
+      done;
+      m
+    end
+  end
+
+let complete_rows ys =
+  match ys with
+  | [] -> invalid_arg "Unimodular.complete_rows: no rows"
+  | y0 :: _ ->
+    let k = Intvec.dim y0 in
+    List.iter
+      (fun y ->
+        if Intvec.dim y <> k then
+          invalid_arg "Unimodular.complete_rows: ragged rows")
+      ys;
+    let given = Intmat.of_rows ys in
+    if Intmat.rank given <> List.length ys then
+      invalid_arg "Unimodular.complete_rows: rows linearly dependent";
+    let rec extend acc r i =
+      if r = k then acc
+      else if i >= k then
+        (* cannot happen: independent rows always extend with basis vectors *)
+        invalid_arg "Unimodular.complete_rows: completion failed"
+      else begin
+        let candidate = Intmat.append_row acc (Intvec.unit k i) in
+        if Intmat.rank candidate = r + 1 then extend candidate (r + 1) (i + 1)
+        else extend acc r (i + 1)
+      end
+    in
+    extend given (List.length ys) 0
+
+let complete_layout ys =
+  match ys with
+  | [ y ] when Intvec.content y = 1 -> complete_primitive y
+  | _ -> complete_rows ys

@@ -1,0 +1,27 @@
+(** Completion of hyperplane rows to invertible data-transform matrices.
+
+    A memory layout given as hyperplane rows [Y1 .. Ym] (m < k) only
+    partially determines a data transformation of a k-dimensional array.
+    To actually remap indices we complete the rows to a nonsingular (and,
+    when a single primitive row is given, unimodular) k x k matrix whose
+    leading rows are the given hyperplanes. *)
+
+val complete_primitive : Intvec.t -> Intmat.t
+(** [complete_primitive y] is a unimodular matrix (determinant +1 or -1)
+    whose first row is [y].  [y] must be primitive (content 1); raises
+    [Invalid_argument] otherwise.  Uses the classical extended-gcd
+    construction by induction on the dimension. *)
+
+val complete_rows : Intvec.t list -> Intmat.t
+(** [complete_rows ys] extends the linearly independent rows [ys] to a
+    nonsingular square matrix by greedily appending standard basis vectors
+    that increase the rank.  The first [List.length ys] rows of the result
+    are exactly [ys].  Raises [Invalid_argument] if [ys] is empty, has
+    ragged dimensions, or is linearly dependent. *)
+
+val complete_layout : Intvec.t list -> Intmat.t
+(** [complete_layout ys] is the data-transform matrix for a layout given by
+    hyperplane rows [ys]: for a single primitive row it returns the
+    unimodular completion ({!complete_primitive}); otherwise it falls back
+    to {!complete_rows}.  In either case the result [t] is nonsingular and
+    [row t i = List.nth ys i] for each given row. *)

@@ -1,0 +1,82 @@
+module Layout = Mlo_layout.Layout
+module Hyperplane = Mlo_layout.Hyperplane
+module Program = Mlo_ir.Program
+
+let layout2 coeffs = Layout.of_hyperplane (Hyperplane.of_list coeffs)
+
+let palette6 =
+  List.map layout2
+    [ [ 1; 0 ]; [ 0; 1 ]; [ 1; -1 ]; [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ] ]
+
+let palette8 = palette6 @ List.map layout2 [ [ 1; -2 ]; [ 2; -1 ] ]
+let palette10 = palette8 @ List.map layout2 [ [ 1; 3 ]; [ 3; 1 ] ]
+let palette12 = palette10 @ List.map layout2 [ [ 1; -3 ]; [ 3; -1 ] ]
+
+(* Canonical enumeration: the eight classics, then coprime (a, +-b) pairs
+   by increasing max coefficient. *)
+let enumeration =
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let tail = ref [] in
+  for m = 3 to 8 do
+    for a = 1 to m - 1 do
+      if gcd m a = 1 then
+        tail := !tail @ [ [ a; m ]; [ m; a ]; [ a; -m ]; [ m; -a ] ]
+    done
+  done;
+  palette8 @ List.map layout2 !tail
+
+let palette n =
+  if n <= 0 || n > List.length enumeration then
+    invalid_arg "Candidates.palette: size out of range";
+  List.filteri (fun i _ -> i < n) enumeration
+
+(* Layouts with coefficients >= 5: the generator and the loop
+   restructurings never demand them, so they are pure search-space
+   padding. *)
+let junk_pool = List.filteri (fun i _ -> i >= 24) enumeration
+
+let pad_to_domain prog ~target =
+  let build = Mlo_netgen.Build.build prog in
+  let measured =
+    Mlo_csp.Network.total_domain_size build.Mlo_netgen.Build.network
+  in
+  if measured > target then
+    invalid_arg
+      (Printf.sprintf
+         "Candidates.pad_to_domain: strict domain %d already exceeds %d"
+         measured target);
+  let names = Program.array_names prog in
+  let n = List.length names in
+  let deficit = target - measured in
+  if deficit > n * List.length junk_pool then
+    invalid_arg "Candidates.pad_to_domain: deficit too large to pad";
+  let table = Hashtbl.create 32 in
+  List.iteri
+    (fun r name ->
+      let count = (deficit / n) + (if r < deficit mod n then 1 else 0) in
+      Hashtbl.replace table name (List.filteri (fun i _ -> i < count) junk_pool))
+    names;
+  fun name ->
+    match Hashtbl.find_opt table name with Some p -> p | None -> []
+
+let by_position prog plan =
+  if plan = [] then invalid_arg "Candidates.by_position: empty plan";
+  let names = Program.array_names prog in
+  let table = Hashtbl.create 32 in
+  let last_palette = snd (List.nth plan (List.length plan - 1)) in
+  let expanded = List.concat_map (fun (k, p) -> List.init k (fun _ -> p)) plan in
+  let rec assign names palettes =
+    match (names, palettes) with
+    | [], _ -> ()
+    | n :: rest, p :: ps ->
+      Hashtbl.replace table n p;
+      assign rest ps
+    | n :: rest, [] ->
+      Hashtbl.replace table n last_palette;
+      assign rest []
+  in
+  assign names expanded;
+  fun name ->
+    match Hashtbl.find_opt table name with
+    | Some p -> p
+    | None -> last_palette

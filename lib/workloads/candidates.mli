@@ -1,0 +1,50 @@
+(** Candidate-layout palettes for network domains.
+
+    The paper's Table 1 "Domain Size" counts the layouts each array may
+    assume — the candidate set a compiler enumerates, not just the
+    layouts some nest asks for.  These palettes are the canonical 2-D
+    hyperplane families with small coefficients; benchmarks assign richer
+    palettes to some arrays to reproduce the published search-space
+    sizes. *)
+
+val palette6 : Mlo_layout.Layout.t list
+(** row, column, diagonal, anti-diagonal, (1 2), (2 1). *)
+
+val palette8 : Mlo_layout.Layout.t list
+(** {!palette6} plus (1 -2), (2 -1) — the generator's full demand set. *)
+
+val palette10 : Mlo_layout.Layout.t list
+(** {!palette8} plus (1 3), (3 1). *)
+
+val palette12 : Mlo_layout.Layout.t list
+(** {!palette10} plus (1 -3), (3 -1). *)
+
+val palette : int -> Mlo_layout.Layout.t list
+(** [palette n] is the first [n] layouts of the canonical 2-D enumeration:
+    the eight classic families first (row, column, the two diagonals and
+    the four (1 2)-style skews — the generator's full demand set), then
+    coprime hyperplane vectors by increasing coefficient magnitude.
+    Raises [Invalid_argument] if [n] exceeds the enumeration (88) or is
+    not positive. *)
+
+val pad_to_domain :
+  Mlo_ir.Program.t -> target:int -> string -> Mlo_layout.Layout.t list
+(** [pad_to_domain prog ~target] measures the strict (demand-only)
+    network of [prog] and returns a candidate function that pads the
+    per-array domains with high-coefficient layouts (never demanded by
+    any restructuring, so constraints are unaffected except through
+    wildcards) until the total domain size is exactly [target].  The
+    padding is spread round-robin over the arrays in declaration order.
+    Raises [Invalid_argument] if the strict network already exceeds
+    [target] or the deficit cannot be covered. *)
+
+val by_position :
+  Mlo_ir.Program.t ->
+  (int * Mlo_layout.Layout.t list) list ->
+  string ->
+  Mlo_layout.Layout.t list
+(** [by_position prog plan] assigns palettes by declaration order:
+    [plan = \[(k1, p1); (k2, p2); ...\]] gives the first [k1] arrays
+    palette [p1], the next [k2] palette [p2], and so on; arrays beyond
+    the plan (and unknown names) get the last palette of the plan.
+    Raises [Invalid_argument] on an empty plan. *)

@@ -1,0 +1,149 @@
+module B = Mlo_ir.Builder
+module Array_info = Mlo_ir.Array_info
+module Loop_nest = Mlo_ir.Loop_nest
+
+type arrays = (string * int list) list
+
+let declare ?elem_size reqs =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, extents) ->
+      match Hashtbl.find_opt table name with
+      | None ->
+        Hashtbl.replace table name extents;
+        order := name :: !order
+      | Some prev ->
+        if prev <> extents then
+          invalid_arg
+            (Printf.sprintf "Kernels.declare: conflicting extents for %s" name))
+    reqs;
+  List.rev_map
+    (fun name -> Array_info.make ?elem_size name (Hashtbl.find table name))
+    !order
+
+let matmul ~name ~n ~c ~a ~b =
+  let x = B.ctx [ "i"; "j"; "k" ] in
+  let i = B.var x "i" and j = B.var x "j" and k = B.var x "k" in
+  let nest =
+    B.nest name x [ n; n; n ]
+      [
+        B.read c [ i; j ];
+        B.read a [ i; k ];
+        B.read b [ k; j ];
+        B.write c [ i; j ];
+      ]
+  in
+  (nest, [ (c, [ n; n ]); (a, [ n; n ]); (b, [ n; n ]) ])
+
+let transpose_copy ~name ~n ~dst ~src =
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" and j = B.var x "j" in
+  let nest =
+    B.nest name x [ n; n ] [ B.read src [ j; i ]; B.write dst [ i; j ] ]
+  in
+  (nest, [ (dst, [ n; n ]); (src, [ n; n ]) ])
+
+let stencil5 ~name ~n ~dst ~src =
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" and j = B.var x "j" in
+  let one = B.const x 1 and two = B.const x 2 in
+  let nest =
+    B.nest name x [ n; n ]
+      B.
+        [
+          read src [ i +: one; j +: one ];
+          read src [ i; j +: one ];
+          read src [ i +: two; j +: one ];
+          read src [ i +: one; j ];
+          read src [ i +: one; j +: two ];
+          write dst [ i +: one; j +: one ];
+        ]
+  in
+  (nest, [ (dst, [ n + 2; n + 2 ]); (src, [ n + 2; n + 2 ]) ])
+
+let diagonal_sweep ~name ~n ~q1 ~q2 =
+  let x = B.ctx [ "i1"; "i2" ] in
+  let i1 = B.var x "i1" and i2 = B.var x "i2" in
+  let nest =
+    B.nest name x [ n; n ]
+      B.[ read q1 [ i1 +: i2; i2 ]; read q2 [ i1 +: i2; i1 ]; write q1 [ i1 +: i2; i2 ] ]
+  in
+  (nest, [ (q1, [ (2 * n) - 1; n ]); (q2, [ (2 * n) - 1; n ]) ])
+
+let fill ~name ~n ~dst =
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" and j = B.var x "j" in
+  let nest = B.nest name x [ n; n ] [ B.write dst [ i; j ] ] in
+  (nest, [ (dst, [ n; n ]) ])
+
+let row_scale ~name ~n ~dst =
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" and j = B.var x "j" in
+  let nest =
+    B.nest name x [ n; n ] [ B.read dst [ i; j ]; B.write dst [ i; j ] ]
+  in
+  (nest, [ (dst, [ n; n ]) ])
+
+let row_reduce ~name ~n ~dst ~src =
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" and j = B.var x "j" in
+  let nest =
+    B.nest name x [ n; n ]
+      [ B.read src [ i; j ]; B.read dst [ i ]; B.write dst [ i ] ]
+  in
+  (nest, [ (dst, [ n ]); (src, [ n; n ]) ])
+
+let col_reduce ~name ~n ~dst ~src =
+  let x = B.ctx [ "j"; "i" ] in
+  let j = B.var x "j" and i = B.var x "i" in
+  let nest =
+    B.nest name x [ n; n ]
+      [ B.read src [ i; j ]; B.read dst [ j ]; B.write dst [ j ] ]
+  in
+  (nest, [ (dst, [ n ]); (src, [ n; n ]) ])
+
+let rotate3 ~name ~n ~dst ~src =
+  let x = B.ctx [ "i"; "j"; "k" ] in
+  let i = B.var x "i" and j = B.var x "j" and k = B.var x "k" in
+  let nest =
+    B.nest name x [ n; n; n ]
+      [ B.read src [ k; i; j ]; B.write dst [ i; j; k ] ]
+  in
+  (nest, [ (dst, [ n; n; n ]); (src, [ n; n; n ]) ])
+
+let stencil7 ~name ~n ~dst ~src =
+  let x = B.ctx [ "i"; "j"; "k" ] in
+  let i = B.var x "i" and j = B.var x "j" and k = B.var x "k" in
+  let one = B.const x 1 and two = B.const x 2 in
+  let c v = B.(v +: one) in
+  let nest =
+    B.nest name x [ n; n; n ]
+      B.
+        [
+          read src [ c i; c j; c k ];
+          read src [ i; c j; c k ];
+          read src [ i +: two; c j; c k ];
+          read src [ c i; j; c k ];
+          read src [ c i; j +: two; c k ];
+          read src [ c i; c j; k ];
+          read src [ c i; c j; k +: two ];
+          write dst [ c i; c j; c k ];
+        ]
+  in
+  (nest, [ (dst, [ n + 2; n + 2; n + 2 ]); (src, [ n + 2; n + 2; n + 2 ]) ])
+
+let batched_matmul ~name ~batches ~n ~c ~a ~b =
+  let x = B.ctx [ "t"; "i"; "j"; "k" ] in
+  let t = B.var x "t" and i = B.var x "i" and j = B.var x "j" and k = B.var x "k" in
+  let nest =
+    B.nest name x [ batches; n; n; n ]
+      [
+        B.read c [ t; i; j ];
+        B.read a [ t; i; k ];
+        B.read b [ t; k; j ];
+        B.write c [ t; i; j ];
+      ]
+  in
+  ( nest,
+    [ (c, [ batches; n; n ]); (a, [ batches; n; n ]); (b, [ batches; n; n ]) ] )

@@ -1,0 +1,80 @@
+(** Reusable loop-nest builders for realistic array kernels.
+
+    Every builder takes the loop bound(s) and array names and returns a
+    {!Mlo_ir.Loop_nest.t} plus the array declarations it requires (the
+    caller merges declarations across kernels; see {!declare}). *)
+
+type arrays = (string * int list) list
+(** Required arrays: name and extents.  When several kernels require the
+    same array the extents must agree (checked by {!declare}). *)
+
+val declare : ?elem_size:int -> arrays -> Mlo_ir.Array_info.t list
+(** Merges requirements into declarations.  Raises [Invalid_argument] on
+    conflicting extents for one name. *)
+
+val matmul :
+  name:string -> n:int -> c:string -> a:string -> b:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** [c\[i\]\[j\] += a\[i\]\[k\] * b\[k\]\[j\]] over i,j,k in [0,n): the
+    classic kernel whose arrays want row-major (a), column-major (b) and
+    anything (c). *)
+
+val transpose_copy :
+  name:string -> n:int -> dst:string -> src:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** [dst\[i\]\[j\] = src\[j\]\[i\]]: dst wants row-major, src wants
+    column-major. *)
+
+val stencil5 :
+  name:string -> n:int -> dst:string -> src:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** Five-point stencil [dst\[i\]\[j\] = f(src\[i±1\]\[j\], src\[i\]\[j±1\])]
+    over the interior of an [(n+2) x (n+2)] grid; both arrays want
+    row-major. *)
+
+val diagonal_sweep :
+  name:string -> n:int -> q1:string -> q2:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** The paper's Figure 2 nest: [... q1\[i1+i2\]\[i2\] ... q2\[i1+i2\]\[i1\] ...];
+    q1 wants the diagonal layout (1 -1), q2 wants column-major. *)
+
+val fill :
+  name:string -> n:int -> dst:string -> Mlo_ir.Loop_nest.t * arrays
+(** [dst\[i\]\[j\] = 0]: write-only initialization sweep (prefers
+    row-major; constrains nothing else). *)
+
+val row_scale :
+  name:string -> n:int -> dst:string -> Mlo_ir.Loop_nest.t * arrays
+(** [dst\[i\]\[j\] *= s]: an in-place row-wise update pass. *)
+
+val row_reduce :
+  name:string -> n:int -> dst:string -> src:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** [dst\[i\] += src\[i\]\[j\]]: src wants row-major; dst is 1-D. *)
+
+val col_reduce :
+  name:string -> n:int -> dst:string -> src:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** [dst\[j\] += src\[i\]\[j\]] with j outer: src wants column-major. *)
+
+(** {1 Rank-3 (tensor) kernels} *)
+
+val rotate3 :
+  name:string -> n:int -> dst:string -> src:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** Axis rotation of a cube: [dst\[i\]\[j\]\[k\] = src\[k\]\[i\]\[j\]].
+    dst wants its last axis fastest (row-major); src wants its {e first}
+    axis fastest — only a 3-D layout change can serve both. *)
+
+val stencil7 :
+  name:string -> n:int -> dst:string -> src:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** Seven-point 3-D stencil over the interior of an [(n+2)^3] grid; both
+    arrays want row-major. *)
+
+val batched_matmul :
+  name:string -> batches:int -> n:int -> c:string -> a:string -> b:string ->
+  Mlo_ir.Loop_nest.t * arrays
+(** [c\[t\]\[i\]\[j\] += a\[t\]\[i\]\[k\] * b\[t\]\[k\]\[j\]] over a batch
+    index [t]: a depth-4 nest whose 3-D operands inherit the classic
+    matmul preferences per slice. *)

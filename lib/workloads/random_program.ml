@@ -1,0 +1,228 @@
+module Intvec = Mlo_linalg.Intvec
+module Affine = Mlo_ir.Affine
+module Access = Mlo_ir.Access
+module Loop_nest = Mlo_ir.Loop_nest
+module Array_info = Mlo_ir.Array_info
+module Program = Mlo_ir.Program
+module Hyperplane = Mlo_layout.Hyperplane
+module Layout = Mlo_layout.Layout
+module Rng = Mlo_csp.Rng
+
+type params = {
+  name : string;
+  seed : int;
+  num_arrays : int;
+  num_nests : int;
+  extent : int;
+  sim_extent : int;
+  min_arrays_per_nest : int;
+  max_arrays_per_nest : int;
+  conflict_percent : int;
+  skew_percent : int;
+  temporal_percent : int;
+  elem_size : int;
+}
+
+let default =
+  {
+    name = "random";
+    seed = 1;
+    num_arrays = 8;
+    num_nests = 12;
+    extent = 64;
+    sim_extent = 64;
+    min_arrays_per_nest = 2;
+    max_arrays_per_nest = 3;
+    conflict_percent = 30;
+    skew_percent = 30;
+    temporal_percent = 30;
+    elem_size = 4;
+  }
+
+(* The 2-D layout palette of the paper's examples: row-major,
+   column-major, both diagonals, and the skewed families the Section 3
+   network uses (e.g. (1 2)). *)
+let palette =
+  [|
+    [| 1; 0 |];
+    [| 0; 1 |];
+    [| 1; -1 |];
+    [| 1; 1 |];
+    [| 1; 2 |];
+    [| 2; 1 |];
+    [| 1; -2 |];
+    [| 2; -1 |];
+  |]
+
+let array_name q = Printf.sprintf "Q%d" (q + 1)
+
+let intended_vector p q =
+  (* stable per-array draw, independent of nest generation *)
+  let rng = Rng.create ((p.seed * 7919) + q) in
+  palette.(Rng.int rng (Array.length palette))
+
+let intended_layouts p =
+  List.init p.num_arrays (fun q ->
+      ( array_name q,
+        Layout.of_hyperplane (Hyperplane.make (intended_vector p q)) ))
+
+(* Innermost-loop stride that makes layout [y] the preferred one:
+   the canonical vector orthogonal to [y] in 2-D. *)
+let delta_for y = Intvec.canonical [| y.(1); -y.(0) |]
+
+let independent_outer rng ~skew_percent delta =
+  let skewed = Rng.int rng 100 < skew_percent in
+  let candidates =
+    if skewed then
+      [
+        [| 1; 1 |]; [| 1; -1 |]; [| 1; 2 |]; [| 2; 1 |]; [| 1; -2 |];
+        [| 2; -1 |]; [| 1; 0 |]; [| 0; 1 |];
+      ]
+    else [ [| 1; 0 |]; [| 0; 1 |] ]
+  in
+  let independent o = (o.(0) * delta.(1)) - (o.(1) * delta.(0)) <> 0 in
+  let ok = List.filter independent candidates in
+  List.nth ok (Rng.int rng (List.length ok))
+
+(* A planned reference: outer and inner stride columns, or a temporal
+   reference whose inner column is zero with a fixed minor index. *)
+type planned_ref = {
+  array_ : int;
+  outer : Intvec.t;
+  inner : Intvec.t; (* zero vector for temporal references *)
+  fixed : int; (* minor index for rows with no loop dependence *)
+  write : bool;
+}
+
+type planned_nest = { label : string; refs : planned_ref list; cheap : bool }
+
+(* All arrays share one square extent; loop bounds shrink per nest so
+   skewed references stay inside it: with per-row coefficient weight
+   w = |outer_r| + |inner_r|, indices span w * (bound - 1), so the nest
+   runs its loops to bound = (extent - 1) / w_max + 1. *)
+let ref_weight r =
+  let w d = abs r.outer.(d) + abs r.inner.(d) in
+  max (max (w 0) (w 1)) 1
+
+let nest_bound ~extent refs =
+  let wmax = List.fold_left (fun acc r -> max acc (ref_weight r)) 1 refs in
+  max 2 (((extent - 1) / wmax) + 1)
+
+let plan p =
+  let rng = Rng.create p.seed in
+  let pick_arrays () =
+    let k =
+      p.min_arrays_per_nest
+      + Rng.int rng (p.max_arrays_per_nest - p.min_arrays_per_nest + 1)
+    in
+    let k = min k p.num_arrays in
+    let perm = Rng.shuffled_init rng p.num_arrays in
+    Array.to_list (Array.sub perm 0 k)
+  in
+  let make_refs arrays_chosen ~conflicting ~allow_temporal =
+    List.mapi
+      (fun pos q ->
+        if allow_temporal && Rng.int rng 100 < p.temporal_percent then begin
+          (* innermost-invariant reference: no layout demand, so the
+             restructurings that see it constrain only the other arrays
+             (wildcard pairs in the network) *)
+          let o = independent_outer rng ~skew_percent:p.skew_percent [| 0; 1 |] in
+          {
+            array_ = q;
+            outer = o;
+            inner = [| 0; 0 |];
+            fixed = Rng.int rng 4;
+            write = pos = 0;
+          }
+        end
+        else begin
+          let y =
+            if conflicting then begin
+              let alternatives =
+                Array.to_list palette
+                |> List.filter (fun v ->
+                       not (Intvec.equal v (intended_vector p q)))
+              in
+              List.nth alternatives (Rng.int rng (List.length alternatives))
+            end
+            else intended_vector p q
+          in
+          let delta = delta_for y in
+          let o = independent_outer rng ~skew_percent:p.skew_percent delta in
+          { array_ = q; outer = o; inner = delta; fixed = 0; write = pos = 0 }
+        end)
+      arrays_chosen
+  in
+  let nests = ref [] in
+  for n = 0 to p.num_nests - 1 do
+    let arrays_chosen = pick_arrays () in
+    let conflicting = Rng.int rng 100 < p.conflict_percent in
+    if conflicting then begin
+      (* expensive conflicting nest ... *)
+      let refs = make_refs arrays_chosen ~conflicting:true ~allow_temporal:true in
+      nests :=
+        { label = Printf.sprintf "conflict%d" n; refs; cheap = false } :: !nests;
+      (* ... plus its cheaper aligned twin over the same arrays, keeping
+         the intended combination available in every constraint the
+         conflicting nest creates.  The twin never draws temporal
+         references: it must anchor the intended pair for every array
+         pair of the nest. *)
+      let twin_refs =
+        make_refs arrays_chosen ~conflicting:false ~allow_temporal:false
+      in
+      nests :=
+        { label = Printf.sprintf "aligned%d_twin" n; refs = twin_refs; cheap = true }
+        :: !nests
+    end
+    else begin
+      let refs =
+        make_refs arrays_chosen ~conflicting:false ~allow_temporal:true
+      in
+      nests := { label = Printf.sprintf "aligned%d" n; refs; cheap = false } :: !nests
+    end
+  done;
+  List.rev !nests
+
+(* Materialize index expressions for a reference at a given loop bound:
+   constants lift negative strides back into [0, extent). *)
+let reference_indices ~bound r =
+  List.init 2 (fun d ->
+      let co = r.outer.(d) and cd = r.inner.(d) in
+      let neg_magnitude = max 0 (-co) + max 0 (-cd) in
+      let lift =
+        if co = 0 && cd = 0 then r.fixed else neg_magnitude * (bound - 1)
+      in
+      Affine.{ coeffs = [| co; cd |]; const = lift })
+
+let realize p ~extent =
+  let planned = plan p in
+  let arrays =
+    List.init p.num_arrays (fun q ->
+        Array_info.make ~elem_size:p.elem_size (array_name q) [ extent; extent ])
+  in
+  let nests =
+    List.map
+      (fun pn ->
+        let bound = nest_bound ~extent pn.refs in
+        let bound = if pn.cheap then max 2 (bound / 2) else bound in
+        let loops =
+          [
+            { Loop_nest.var = "i"; lo = 0; hi = bound };
+            { Loop_nest.var = "j"; lo = 0; hi = bound };
+          ]
+        in
+        let accesses =
+          List.map
+            (fun r ->
+              let kind = if r.write then Access.Write else Access.Read in
+              Access.make kind (array_name r.array_)
+                (reference_indices ~bound r))
+            pn.refs
+        in
+        Loop_nest.make ~name:pn.label loops accesses)
+      planned
+  in
+  Program.make ~name:p.name arrays nests
+
+let generate p = realize p ~extent:p.extent
+let generate_sim p = realize p ~extent:p.sim_extent

@@ -1,0 +1,63 @@
+(** Seeded synthetic benchmark generator.
+
+    The paper's benchmarks are proprietary embedded codes; what the
+    constraint-network experiments actually consume is the {e structure}
+    they induce: how many arrays, how many nests touch each array, and how
+    often different nests pull the same array toward different layouts.
+    This generator reproduces that structure deterministically from a
+    seed:
+
+    - every array gets an {e intended} layout drawn from the classic
+      palette (row-major, column-major, diagonal, anti-diagonal);
+    - {e aligned} nests reference their arrays with an access pattern
+      whose innermost-loop stride prefers exactly the intended layout, so
+      the assignment taking every demanded array to its intended layout
+      (and arrays referenced only temporally to the default) is a
+      solution of the extracted network by construction;
+    - {e conflicting} nests (a seeded fraction) instead pull their arrays
+      toward alternative layouts, and are paired with a cheaper aligned
+      twin over the same arrays so that every constrained array pair still
+      allows the intended combination — conflicts enlarge domains and
+      constraint sets (hard search) without making the network
+      unsatisfiable;
+    - skewed outer strides enrich the per-array candidate sets the way
+      loop restructurings do in the paper.
+
+    The same structure can be instantiated at any loop extent: the full
+    Table-1 data size for network extraction, a scaled extent for fast
+    trace-driven simulation. *)
+
+type params = {
+  name : string;
+  seed : int;
+  num_arrays : int;
+  num_nests : int;  (** aligned nests; conflicting nests add twins *)
+  extent : int;
+      (** the shared square array extent; every array is extent x extent
+          and per-nest loop bounds shrink so skewed references stay in
+          bounds *)
+  sim_extent : int;  (** array extent for the simulation instance *)
+  min_arrays_per_nest : int;
+  max_arrays_per_nest : int;
+  conflict_percent : int;  (** chance (in %) that a nest conflicts *)
+  skew_percent : int;  (** chance (in %) of a skewed outer stride *)
+  temporal_percent : int;
+      (** chance (in %) that a reference is innermost-invariant: such
+          references demand no layout, so the network gets wildcard pairs
+          (any layout of that array is allowed with the partner's
+          demand) — looser, paper-sized constraints *)
+  elem_size : int;
+}
+
+val default : params
+(** A small, balanced configuration (8 arrays, 12 nests, 64x64 arrays). *)
+
+val generate : params -> Mlo_ir.Program.t
+(** The program at full size. *)
+
+val generate_sim : params -> Mlo_ir.Program.t
+(** Same structure at [sim_extent]. *)
+
+val intended_layouts : params -> (string * Mlo_layout.Layout.t) list
+(** The planted solution: the layout each array was generated to prefer.
+    The extracted network always admits it (see module doc). *)

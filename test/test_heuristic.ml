@@ -1,0 +1,145 @@
+(* Tests for the propagation heuristic (the paper's comparison baseline). *)
+
+module B = Mlo_ir.Builder
+module Program = Mlo_ir.Program
+module Array_info = Mlo_ir.Array_info
+module Layout = Mlo_layout.Layout
+module Propagation = Mlo_heuristic.Propagation
+
+let layout = Alcotest.testable Layout.pp Layout.equal
+
+(* A program with two nests over the same arrays: the costly one reads
+   them column-wise, the cheap one row-wise.  The heuristic must satisfy
+   the costly nest. *)
+let two_nest_program ~costly_first ~n =
+  let colwise =
+    let x = B.ctx [ "j"; "i" ] in
+    let j = B.var x "j" and i = B.var x "i" in
+    B.nest "colwise" x [ n; n ] [ B.read "X" [ i; j ]; B.write "Y" [ i; j ] ]
+  in
+  let rowwise =
+    let x = B.ctx [ "i"; "j" ] in
+    let i = B.var x "i" and j = B.var x "j" in
+    B.nest "rowwise" x [ n / 4; n / 4 ]
+      [ B.read "X" [ i; j ]; B.write "Y" [ i; j ] ]
+  in
+  let nests = if costly_first then [ colwise; rowwise ] else [ rowwise; colwise ] in
+  Program.make ~name:"two-nest"
+    [ Array_info.make "X" [ n; n ]; Array_info.make "Y" [ n; n ] ]
+    nests
+
+let test_heuristic_prioritizes_costly_nest () =
+  (* regardless of program order, the costly column-wise nest is ranked
+     first... but loop restructuring lets the nest adapt instead: the
+     heuristic may interchange the colwise nest and keep row-major.
+     What must hold: both arrays get the same layout (both nests access
+     X and Y identically), and all arrays are assigned. *)
+  List.iter
+    (fun costly_first ->
+      let prog = two_nest_program ~costly_first ~n:64 in
+      let r = Propagation.optimize prog in
+      Alcotest.(check int) "all arrays assigned" 2
+        (List.length r.Propagation.layouts);
+      let x = Propagation.lookup r "X" and y = Propagation.lookup r "Y" in
+      (match (x, y) with
+      | Some lx, Some ly ->
+        Alcotest.check layout "X and Y agree" lx ly
+      | _ -> Alcotest.fail "layouts missing");
+      Alcotest.(check bool) "evaluations counted" true
+        (r.Propagation.evaluations > 0))
+    [ true; false ]
+
+let test_heuristic_ranks_by_cost () =
+  let prog = two_nest_program ~costly_first:false ~n:64 in
+  let r = Propagation.optimize prog in
+  (* nest 1 (colwise, 64x64) outranks nest 0 (rowwise, 16x16) *)
+  Alcotest.(check (list int)) "importance order" [ 1; 0 ] r.Propagation.nest_order
+
+let test_heuristic_fixed_layouts_propagate () =
+  (* three nests: the most expensive wants X column-major; a middle one
+     wants X row-major (loses); a third touches only Z *)
+  let big =
+    let x = B.ctx [ "j"; "i" ] in
+    let j = B.var x "j" and i = B.var x "i" in
+    B.nest "big" x [ 64; 64 ] [ B.read "X" [ i; j ]; B.write "X" [ i; j ] ]
+  in
+  let mid =
+    let x = B.ctx [ "i"; "j" ] in
+    let i = B.var x "i" and j = B.var x "j" in
+    (* reads X along rows AND brings in Z: Z's layout is decided here *)
+    B.nest "mid" x [ 16; 16 ] [ B.read "X" [ i; j ]; B.write "Z" [ j; i ] ]
+  in
+  let prog =
+    Program.make ~name:"three"
+      [ Array_info.make "X" [ 64; 64 ]; Array_info.make "Z" [ 64; 64 ] ]
+      [ mid; big ]
+  in
+  let r = Propagation.optimize prog in
+  (* X is fixed by the big nest (possibly adapted by loop interchange);
+     Z must also have been assigned by the mid nest *)
+  Alcotest.(check bool) "X assigned" true (Propagation.lookup r "X" <> None);
+  Alcotest.(check bool) "Z assigned" true (Propagation.lookup r "Z" <> None)
+
+let test_heuristic_defaults_unconstrained () =
+  (* array touched only temporally: defaults to row-major *)
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" in
+  let nest = B.nest "t" x [ 8; 8 ] [ B.read "W" [ i; i ] ] in
+  let prog = Program.make ~name:"w" [ Array_info.make "W" [ 8; 8 ] ] [ nest ] in
+  let r = Propagation.optimize prog in
+  Alcotest.(check (option layout)) "row-major default"
+    (Some (Layout.row_major 2))
+    (Propagation.lookup r "W")
+
+let test_heuristic_one_d_arrays () =
+  let x = B.ctx [ "i"; "j" ] in
+  let i = B.var x "i" and j = B.var x "j" in
+  let nest = B.nest "r" x [ 8; 8 ] [ B.read "V" [ j ]; B.write "M" [ i; j ] ] in
+  let prog =
+    Program.make ~name:"v"
+      [ Array_info.make "V" [ 8 ]; Array_info.make "M" [ 8; 8 ] ]
+      [ nest ]
+  in
+  let r = Propagation.optimize prog in
+  Alcotest.(check (option layout)) "1-D trivial" (Some Layout.trivial)
+    (Propagation.lookup r "V")
+
+let prop_heuristic_total =
+  QCheck.Test.make ~name:"heuristic assigns every array a layout of its rank"
+    ~count:60 QCheck.small_nat (fun seed ->
+      let params =
+        {
+          Mlo_workloads.Random_program.default with
+          Mlo_workloads.Random_program.seed;
+          num_arrays = 6;
+          num_nests = 8;
+          extent = 10;
+          sim_extent = 10;
+        }
+      in
+      let prog = Mlo_workloads.Random_program.generate params in
+      let r = Propagation.optimize prog in
+      Array.for_all
+        (fun info ->
+          match Propagation.lookup r (Array_info.name info) with
+          | Some l -> Layout.rank l = Array_info.rank info
+          | None -> false)
+        (Program.arrays prog))
+
+let () =
+  Alcotest.run "heuristic"
+    [
+      ( "propagation",
+        [
+          Alcotest.test_case "prioritizes costly nests" `Quick
+            test_heuristic_prioritizes_costly_nest;
+          Alcotest.test_case "ranks by cost" `Quick test_heuristic_ranks_by_cost;
+          Alcotest.test_case "propagates fixed layouts" `Quick
+            test_heuristic_fixed_layouts_propagate;
+          Alcotest.test_case "defaults for unconstrained arrays" `Quick
+            test_heuristic_defaults_unconstrained;
+          Alcotest.test_case "1-D arrays" `Quick test_heuristic_one_d_arrays;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_heuristic_total ] );
+    ]

@@ -1,0 +1,405 @@
+(* Tests for the loop-nest IR: affine expressions, accesses, nests,
+   programs, dependence analysis and cost model. *)
+
+module Intvec = Mlo_linalg.Intvec
+module Intmat = Mlo_linalg.Intmat
+module Affine = Mlo_ir.Affine
+module Access = Mlo_ir.Access
+module Loop_nest = Mlo_ir.Loop_nest
+module Array_info = Mlo_ir.Array_info
+module Program = Mlo_ir.Program
+module Builder = Mlo_ir.Builder
+module Dependence = Mlo_ir.Dependence
+module Cost = Mlo_ir.Cost
+
+let vec = Alcotest.testable (Fmt.of_to_string Intvec.to_string) Intvec.equal
+
+(* ------------------------------------------------------------------ *)
+(* Affine                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_affine_basics () =
+  let e = Affine.make [ 2; -1 ] 3 in
+  Alcotest.(check int) "depth" 2 (Affine.depth e);
+  Alcotest.(check int) "coeff 0" 2 (Affine.coeff e 0);
+  Alcotest.(check int) "eval" 4 (Affine.eval e [| 1; 1 |]);
+  Alcotest.(check int) "const eval" 7 (Affine.eval (Affine.const 2 7) [| 9; 9 |]);
+  Alcotest.(check int) "var eval" 5 (Affine.eval (Affine.var 2 1) [| 3; 5 |])
+
+let test_affine_arith () =
+  let a = Affine.make [ 1; 0 ] 1 and b = Affine.make [ 0; 2 ] 2 in
+  Alcotest.(check bool) "add" true
+    (Affine.equal (Affine.add a b) (Affine.make [ 1; 2 ] 3));
+  Alcotest.(check bool) "sub" true
+    (Affine.equal (Affine.sub a b) (Affine.make [ 1; -2 ] (-1)));
+  Alcotest.(check bool) "scale" true
+    (Affine.equal (Affine.scale 3 a) (Affine.make [ 3; 0 ] 3));
+  Alcotest.(check bool) "is_constant" true (Affine.is_constant (Affine.const 3 5));
+  Alcotest.(check bool) "not constant" false (Affine.is_constant a)
+
+let test_affine_permute () =
+  let e = Affine.make [ 1; 2; 3 ] 0 in
+  let p = Affine.permute [| 2; 0; 1 |] e in
+  (* new depth 0 takes old depth 2's coefficient *)
+  Alcotest.(check int) "coeff" 3 (Affine.coeff p 0);
+  Alcotest.(check int) "coeff" 1 (Affine.coeff p 1);
+  Alcotest.(check int) "coeff" 2 (Affine.coeff p 2)
+
+let test_affine_pp () =
+  let names = [| "i"; "j" |] in
+  Alcotest.(check string) "mixed" "i+2*j-1"
+    (Affine.to_string names (Affine.make [ 1; 2 ] (-1)));
+  Alcotest.(check string) "zero" "0" (Affine.to_string names (Affine.const 2 0));
+  Alcotest.(check string) "negative lead" "-i+j"
+    (Affine.to_string names (Affine.make [ -1; 1 ] 0))
+
+(* ------------------------------------------------------------------ *)
+(* Array_info / Access                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_array_info () =
+  let a = Array_info.make ~elem_size:8 "A" [ 10; 20 ] in
+  Alcotest.(check int) "rank" 2 (Array_info.rank a);
+  Alcotest.(check int) "cells" 200 (Array_info.cells a);
+  Alcotest.(check int) "bytes" 1600 (Array_info.size_bytes a);
+  Alcotest.check_raises "empty" (Invalid_argument "Array_info.make: no dimensions")
+    (fun () -> ignore (Array_info.make "X" []));
+  Alcotest.check_raises "bad extent"
+    (Invalid_argument "Array_info.make: non-positive extent") (fun () ->
+      ignore (Array_info.make "X" [ 0 ]))
+
+let fig2_accesses () =
+  (* the paper's Figure 2: Q1[i1+i2][i2], Q2[i1+i2][i1] *)
+  let q1 = Access.read "Q1" [ Affine.make [ 1; 1 ] 0; Affine.make [ 0; 1 ] 0 ] in
+  let q2 = Access.read "Q2" [ Affine.make [ 1; 1 ] 0; Affine.make [ 1; 0 ] 0 ] in
+  (q1, q2)
+
+let test_access_matrix () =
+  let q1, q2 = fig2_accesses () in
+  Alcotest.(check bool) "Q1 matrix" true
+    (Intmat.equal (Access.matrix q1) (Intmat.of_lists [ [ 1; 1 ]; [ 0; 1 ] ]));
+  Alcotest.(check bool) "Q2 matrix" true
+    (Intmat.equal (Access.matrix q2) (Intmat.of_lists [ [ 1; 1 ]; [ 1; 0 ] ]));
+  Alcotest.check vec "element at" [| 5; 2 |] (Access.element_at q1 [| 3; 2 |]);
+  Alcotest.(check int) "rank" 2 (Access.rank q1);
+  Alcotest.(check int) "depth" 2 (Access.depth q1)
+
+let test_access_offsets () =
+  let a = Access.write "B" [ Affine.make [ 1; 0 ] 2; Affine.make [ 0; 1 ] (-1) ] in
+  Alcotest.check vec "offset" [| 2; -1 |] (Access.offset a);
+  Alcotest.(check bool) "is_write" true (Access.is_write a)
+
+(* ------------------------------------------------------------------ *)
+(* Loop_nest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simple_nest () =
+  let q1, q2 = fig2_accesses () in
+  Loop_nest.make ~name:"fig2"
+    [ { Loop_nest.var = "i1"; lo = 0; hi = 4 }; { Loop_nest.var = "i2"; lo = 0; hi = 3 } ]
+    [ q1; q2 ]
+
+let test_nest_basics () =
+  let nest = simple_nest () in
+  Alcotest.(check int) "depth" 2 (Loop_nest.depth nest);
+  Alcotest.(check int) "trip count" 12 (Loop_nest.trip_count nest);
+  Alcotest.(check (list string)) "arrays" [ "Q1"; "Q2" ]
+    (Loop_nest.arrays_touched nest);
+  Alcotest.check vec "innermost step" [| 0; 1 |] (Loop_nest.innermost_step nest)
+
+let test_nest_iter_order () =
+  let nest = simple_nest () in
+  let seen = ref [] in
+  Loop_nest.iter nest (fun iv -> seen := Intvec.copy iv :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "count" 12 (List.length seen);
+  (match seen with
+  | first :: second :: _ ->
+    Alcotest.check vec "first" [| 0; 0 |] first;
+    Alcotest.check vec "second (innermost varies)" [| 0; 1 |] second
+  | _ -> Alcotest.fail "expected iterations");
+  Alcotest.check vec "last" [| 3; 2 |] (List.nth seen 11)
+
+let test_nest_permute () =
+  let nest = simple_nest () in
+  let swapped = Loop_nest.interchange nest in
+  Alcotest.(check string) "outer var" "i2" (Loop_nest.loops swapped).(0).Loop_nest.var;
+  (* Q1[i1+i2][i2] becomes, in (i2, i1) space, Q1[i2+i1][i2]: the access
+     matrix columns swap *)
+  let acc = (Loop_nest.accesses swapped).(0) in
+  Alcotest.(check bool) "access permuted" true
+    (Intmat.equal (Access.matrix acc) (Intmat.of_lists [ [ 1; 1 ]; [ 1; 0 ] ]));
+  Alcotest.check_raises "bad perm"
+    (Invalid_argument "Loop_nest.permute: not a permutation") (fun () ->
+      ignore (Loop_nest.permute nest [| 0; 0 |]))
+
+let test_nest_permutations () =
+  let nest = simple_nest () in
+  let perms = Loop_nest.permutations nest in
+  Alcotest.(check int) "2! orders" 2 (List.length perms);
+  (match perms with
+  | (p0, n0) :: _ ->
+    Alcotest.(check bool) "identity first" true (p0 = [| 0; 1 |]);
+    Alcotest.(check bool) "identity nest unchanged" true (Loop_nest.equal n0 nest)
+  | [] -> Alcotest.fail "no permutations")
+
+let test_nest_validation () =
+  Alcotest.check_raises "empty loop" (Invalid_argument "Loop_nest.make: empty loop")
+    (fun () ->
+      ignore
+        (Loop_nest.make ~name:"bad"
+           [ { Loop_nest.var = "i"; lo = 3; hi = 3 } ]
+           [ Access.read "A" [ Affine.var 1 0 ] ]));
+  Alcotest.check_raises "depth mismatch"
+    (Invalid_argument "Loop_nest.make: access depth differs from nest depth")
+    (fun () ->
+      ignore
+        (Loop_nest.make ~name:"bad"
+           [ { Loop_nest.var = "i"; lo = 0; hi = 3 } ]
+           [ Access.read "A" [ Affine.var 2 0 ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder () =
+  let x = Builder.ctx [ "i"; "j" ] in
+  let e = Builder.(var x "i" +: (2 *: var x "j") -: const x 1) in
+  Alcotest.(check bool) "expression" true (Affine.equal e (Affine.make [ 1; 2 ] (-1)));
+  let nest = Builder.nest "n" x [ 4; 5 ] [ Builder.read "A" [ e; e ] ] in
+  Alcotest.(check int) "trip" 20 (Loop_nest.trip_count nest);
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Builder.var: unknown variable k") (fun () ->
+      ignore (Builder.var x "k"))
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_program () =
+  let nest = simple_nest () in
+  Program.make ~name:"p"
+    [ Array_info.make "Q1" [ 8; 4 ]; Array_info.make "Q2" [ 8; 4 ] ]
+    [ nest ]
+
+let test_program_basics () =
+  let p = small_program () in
+  Alcotest.(check (list string)) "names" [ "Q1"; "Q2" ] (Program.array_names p);
+  Alcotest.(check int) "index" 1 (Program.array_index p "Q2");
+  Alcotest.(check int) "data bytes" (2 * 8 * 4 * 4) (Program.data_size_bytes p);
+  Alcotest.(check int) "nests touching" 1
+    (List.length (Program.nests_touching p "Q1"));
+  Alcotest.(check int) "total trips" 12 (Program.total_trip_count p)
+
+let test_program_validation () =
+  let nest = simple_nest () in
+  Alcotest.check_raises "undeclared array"
+    (Invalid_argument "Program.make: nest fig2 references undeclared array Q2")
+    (fun () ->
+      ignore (Program.make ~name:"p" [ Array_info.make "Q1" [ 8; 4 ] ] [ nest ]));
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Program.make: access to Q1 has rank 2, array has rank 1")
+    (fun () ->
+      ignore
+        (Program.make ~name:"p"
+           [ Array_info.make "Q1" [ 8 ]; Array_info.make "Q2" [ 8; 4 ] ]
+           [ nest ]))
+
+(* ------------------------------------------------------------------ *)
+(* Dependence                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dependence_none_for_reads () =
+  (* two reads: never a dependence *)
+  let nest = simple_nest () in
+  Alcotest.(check int) "no deps" 0 (List.length (Dependence.distances nest))
+
+let test_dependence_uniform_distance () =
+  (* A[i][j] written, A[i-1][j] read: distance (1, 0) *)
+  let w = Access.write "A" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ] in
+  let r = Access.read "A" [ Affine.make [ 1; 0 ] (-1); Affine.make [ 0; 1 ] 0 ] in
+  let nest =
+    Loop_nest.make ~name:"dep"
+      [ { Loop_nest.var = "i"; lo = 0; hi = 4 }; { Loop_nest.var = "j"; lo = 0; hi = 4 } ]
+      [ w; r ]
+  in
+  (match Dependence.distances nest with
+  | [ Dependence.Exact d ] -> Alcotest.check vec "distance" [| 1; 0 |] d
+  | [ Dependence.Unknown ] -> Alcotest.fail "expected exact distance"
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 distance, got %d" (List.length l)));
+  (* interchange keeps it lexicographically positive: (0,1) ... wait, the
+     permuted distance is (0, 1): still positive -> legal *)
+  Alcotest.(check bool) "interchange legal" true
+    (Dependence.legal_permutation nest [| 1; 0 |])
+
+let test_dependence_blocks_interchange () =
+  (* classic anti-ordering: A[i][j] = A[i-1][j+1]: distance (1, -1);
+     interchanged becomes (-1, 1): lex negative -> illegal *)
+  let w = Access.write "A" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ] in
+  let r = Access.read "A" [ Affine.make [ 1; 0 ] (-1); Affine.make [ 0; 1 ] 1 ] in
+  let nest =
+    Loop_nest.make ~name:"dep"
+      [ { Loop_nest.var = "i"; lo = 0; hi = 4 }; { Loop_nest.var = "j"; lo = 0; hi = 4 } ]
+      [ w; r ]
+  in
+  Alcotest.(check bool) "identity legal" true
+    (Dependence.legal_permutation nest [| 0; 1 |]);
+  Alcotest.(check bool) "interchange illegal" false
+    (Dependence.legal_permutation nest [| 1; 0 |]);
+  Alcotest.(check int) "only identity survives" 1
+    (List.length (Dependence.legal_permutations nest))
+
+let test_dependence_matmul_all_legal () =
+  let nest, _ =
+    Mlo_workloads.Kernels.matmul ~name:"mm" ~n:8 ~c:"C" ~a:"A" ~b:"B"
+  in
+  Alcotest.(check int) "all 6 orders legal" 6
+    (List.length (Dependence.legal_permutations nest))
+
+let test_dependence_gcd_independence () =
+  (* A[2i] written, A[2i+1] read: even vs odd cells, never aliases *)
+  let w = Access.write "A" [ Affine.make [ 2 ] 0 ] in
+  let r = Access.read "A" [ Affine.make [ 2 ] 1 ] in
+  let nest =
+    Loop_nest.make ~name:"par" [ { Loop_nest.var = "i"; lo = 0; hi = 8 } ] [ w; r ]
+  in
+  Alcotest.(check int) "independent" 0 (List.length (Dependence.distances nest))
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost () =
+  let p = small_program () in
+  let nest = (Program.nests p).(0) in
+  Alcotest.(check int) "nest cost" 24 (Cost.nest_cost nest);
+  let weights = Cost.nest_weights p in
+  Alcotest.(check (float 1e-9)) "single nest weight" 1.0 weights.(0);
+  match Cost.ranked_nests p with
+  | [ (0, _) ] -> ()
+  | _ -> Alcotest.fail "expected single ranked nest"
+
+let test_cost_ranking () =
+  let x = Builder.ctx [ "i"; "j" ] in
+  let i = Builder.var x "i" and j = Builder.var x "j" in
+  let small = Builder.nest "small" x [ 2; 2 ] [ Builder.read "A" [ i; j ] ] in
+  let y = Builder.ctx [ "i"; "j" ] in
+  let big =
+    Builder.nest "big" y [ 10; 10 ]
+      [ Builder.read "A" [ Builder.var y "i"; Builder.var y "j" ] ]
+  in
+  let p =
+    Program.make ~name:"p" [ Array_info.make "A" [ 10; 10 ] ] [ small; big ]
+  in
+  match Cost.ranked_nests p with
+  | (1, n1) :: (0, _) :: [] ->
+    Alcotest.(check string) "big first" "big" (Loop_nest.name n1)
+  | _ -> Alcotest.fail "expected big nest ranked first"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_perm d =
+  QCheck.map
+    (fun seed ->
+      let rng = Mlo_csp.Rng.create seed in
+      Mlo_csp.Rng.shuffled_init rng d)
+    QCheck.small_nat
+
+let prop_permute_preserves_elements =
+  QCheck.Test.make ~name:"permuting a nest preserves the set of elements touched"
+    ~count:100 (gen_perm 2) (fun perm ->
+      let nest = simple_nest () in
+      let permuted = Loop_nest.permute nest perm in
+      let touch n =
+        let acc = ref [] in
+        Loop_nest.iter n (fun iv ->
+            Array.iter
+              (fun a -> acc := Access.element_at a iv :: !acc)
+              (Loop_nest.accesses n));
+        List.sort Intvec.compare !acc
+      in
+      List.equal Intvec.equal (touch nest) (touch permuted))
+
+let prop_eval_add_homomorphic =
+  QCheck.Test.make ~name:"eval of sum = sum of evals" ~count:200
+    (QCheck.pair
+       (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.int_range (-9) 9))
+       (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.int_range (-9) 9)))
+    (fun (c1, c2) ->
+      let e1 = Affine.make (Array.to_list c1) 1 in
+      let e2 = Affine.make (Array.to_list c2) 2 in
+      let iv = [| 3; -1; 2 |] in
+      Affine.eval (Affine.add e1 e2) iv = Affine.eval e1 iv + Affine.eval e2 iv)
+
+let prop_trip_count_matches_iter =
+  QCheck.Test.make ~name:"trip_count counts iterations" ~count:50
+    (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 5)) (fun (a, b) ->
+      let x = Builder.ctx [ "i"; "j" ] in
+      let nest =
+        Builder.nest "n" x [ a; b ]
+          [ Builder.read "A" [ Builder.var x "i"; Builder.var x "j" ] ]
+      in
+      let count = ref 0 in
+      Loop_nest.iter nest (fun _ -> incr count);
+      !count = Loop_nest.trip_count nest)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_permute_preserves_elements;
+      prop_eval_add_homomorphic;
+      prop_trip_count_matches_iter;
+    ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "basics" `Quick test_affine_basics;
+          Alcotest.test_case "arithmetic" `Quick test_affine_arith;
+          Alcotest.test_case "permute" `Quick test_affine_permute;
+          Alcotest.test_case "pretty printing" `Quick test_affine_pp;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "array info" `Quick test_array_info;
+          Alcotest.test_case "access matrix" `Quick test_access_matrix;
+          Alcotest.test_case "offsets" `Quick test_access_offsets;
+        ] );
+      ( "loop_nest",
+        [
+          Alcotest.test_case "basics" `Quick test_nest_basics;
+          Alcotest.test_case "iteration order" `Quick test_nest_iter_order;
+          Alcotest.test_case "permute" `Quick test_nest_permute;
+          Alcotest.test_case "permutations" `Quick test_nest_permutations;
+          Alcotest.test_case "validation" `Quick test_nest_validation;
+        ] );
+      ("builder", [ Alcotest.test_case "combinators" `Quick test_builder ]);
+      ( "program",
+        [
+          Alcotest.test_case "basics" `Quick test_program_basics;
+          Alcotest.test_case "validation" `Quick test_program_validation;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "reads carry no dependence" `Quick
+            test_dependence_none_for_reads;
+          Alcotest.test_case "uniform distance" `Quick
+            test_dependence_uniform_distance;
+          Alcotest.test_case "illegal interchange detected" `Quick
+            test_dependence_blocks_interchange;
+          Alcotest.test_case "matmul fully permutable" `Quick
+            test_dependence_matmul_all_legal;
+          Alcotest.test_case "gcd independence" `Quick
+            test_dependence_gcd_independence;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "basics" `Quick test_cost;
+          Alcotest.test_case "ranking" `Quick test_cost_ranking;
+        ] );
+      ("properties", props);
+    ]

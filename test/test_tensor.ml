@@ -1,0 +1,228 @@
+(* Rank-3 (tensor) coverage: locality derivation with ordered hyperplane
+   sets, 3-D transforms and address maps, dependence over deeper nests,
+   and the end-to-end pipeline on tensor kernels. *)
+
+module Intvec = Mlo_linalg.Intvec
+module Layout = Mlo_layout.Layout
+module Hyperplane = Mlo_layout.Hyperplane
+module Locality = Mlo_layout.Locality
+module Transform = Mlo_layout.Transform
+module Program = Mlo_ir.Program
+module Loop_nest = Mlo_ir.Loop_nest
+module Access = Mlo_ir.Access
+module Dependence = Mlo_ir.Dependence
+module Kernels = Mlo_workloads.Kernels
+module Build = Mlo_netgen.Build
+module Solver = Mlo_csp.Solver
+module Optimizer = Mlo_core.Optimizer
+module Simulate = Mlo_cachesim.Simulate
+module Address_map = Mlo_cachesim.Address_map
+
+let layout = Alcotest.testable Layout.pp Layout.equal
+
+(* ------------------------------------------------------------------ *)
+(* 3-D locality                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rank3_locality_rotation () =
+  let rot, _ = Kernels.rotate3 ~name:"r" ~n:8 ~dst:"D" ~src:"S" in
+  let accs = Loop_nest.accesses rot in
+  (* src[k][i][j]: stepping k changes the first index -> layout must keep
+     the first axis fastest: hyperplanes orthogonal to (1 0 0) *)
+  let src = accs.(0) in
+  (match Locality.preferred_layout src with
+  | Some l ->
+    List.iter
+      (fun y ->
+        Alcotest.(check bool) "src hyperplanes orthogonal to e1" true
+          (Hyperplane.orthogonal_to y [| 1; 0; 0 |]))
+      (Layout.hyperplanes l);
+    Alcotest.(check int) "two hyperplanes" 2 (List.length (Layout.hyperplanes l))
+  | None -> Alcotest.fail "src constrained");
+  (* dst[i][j][k]: stepping k changes the last index -> row-major *)
+  match Locality.preferred_layout accs.(1) with
+  | Some l -> Alcotest.check layout "dst row-major" (Layout.row_major 3) l
+  | None -> Alcotest.fail "dst constrained"
+
+let test_rank3_serves () =
+  (* column-major 3-D serves first-axis walks only *)
+  let c = Layout.col_major 3 in
+  Alcotest.(check bool) "serves e1" true (Layout.serves c [| 1; 0; 0 |]);
+  Alcotest.(check bool) "rejects e3" false (Layout.serves c [| 0; 0; 1 |]);
+  let r = Layout.row_major 3 in
+  Alcotest.(check bool) "row serves e3" true (Layout.serves r [| 0; 0; 1 |]);
+  Alcotest.(check bool) "row rejects e1" false (Layout.serves r [| 1; 0; 0 |])
+
+let prop_rank3_derived_serves =
+  let gen =
+    QCheck.map
+      (fun (a, b, c) -> [| a; b; c |])
+      QCheck.(triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3))
+  in
+  QCheck.Test.make ~name:"rank-3 derived layout serves its delta" ~count:300
+    gen (fun delta ->
+      match Locality.layout_from_delta delta with
+      | None -> Intvec.is_zero delta
+      | Some l -> Layout.rank l = 3 && Layout.serves l delta)
+
+(* ------------------------------------------------------------------ *)
+(* 3-D transforms and addresses                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rank3_transform_col_major () =
+  let t = Transform.make (Layout.col_major 3) ~extents:[| 4; 5; 6 |] in
+  (* first-axis neighbours are adjacent in storage *)
+  let a = Transform.cell_index t [| 0; 2; 3 |] in
+  let b = Transform.cell_index t [| 1; 2; 3 |] in
+  Alcotest.(check int) "first-axis adjacency" 1 (abs (a - b));
+  Alcotest.(check int) "no holes" (4 * 5 * 6) (Transform.footprint_cells t)
+
+let test_rank3_transform_injective () =
+  List.iter
+    (fun l ->
+      let t = Transform.make l ~extents:[| 4; 4; 4 |] in
+      let seen = Hashtbl.create 64 in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          for k = 0 to 3 do
+            let c = Transform.cell_index t [| i; j; k |] in
+            Alcotest.(check bool) "injective" false (Hashtbl.mem seen c);
+            Hashtbl.add seen c ()
+          done
+        done
+      done)
+    [
+      Layout.row_major 3;
+      Layout.col_major 3;
+      Layout.make ~rank:3
+        [ Hyperplane.of_list [ 0; 1; 0 ]; Hyperplane.of_list [ 0; 0; 1 ] ];
+      Layout.make ~rank:3
+        [ Hyperplane.of_list [ 1; -1; 0 ]; Hyperplane.of_list [ 0; 0; 1 ] ];
+    ]
+
+let test_rank3_address_map () =
+  let rot, req = Kernels.rotate3 ~name:"r" ~n:4 ~dst:"D" ~src:"S" in
+  let prog = Program.make ~name:"p" (Kernels.declare req) [ rot ] in
+  let layouts = function
+    | "S" -> Some (Layout.col_major 3)
+    | _ -> None
+  in
+  let amap = Address_map.build prog ~layouts in
+  let a = Address_map.address amap "S" [| 0; 1; 2 |] in
+  let b = Address_map.address amap "S" [| 1; 1; 2 |] in
+  Alcotest.(check int) "col-major 3-D adjacency" 4 (abs (a - b))
+
+(* ------------------------------------------------------------------ *)
+(* Dependence on deeper nests                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_batched_matmul_fully_permutable () =
+  let bm, _ = Kernels.batched_matmul ~name:"b" ~batches:2 ~n:4 ~c:"C" ~a:"A" ~b:"B" in
+  Alcotest.(check int) "depth 4" 4 (Loop_nest.depth bm);
+  Alcotest.(check int) "all 24 orders legal" 24
+    (List.length (Dependence.legal_permutations bm))
+
+let test_stencil7_in_bounds () =
+  let st, req = Kernels.stencil7 ~name:"s" ~n:3 ~dst:"D" ~src:"S" in
+  let prog = Program.make ~name:"p" (Kernels.declare req) [ st ] in
+  Array.iter
+    (fun nest ->
+      Loop_nest.iter nest (fun iv ->
+          Array.iter
+            (fun acc ->
+              let info = Program.find_array prog (Access.array_name acc) in
+              let el = Access.element_at acc iv in
+              Array.iteri
+                (fun d x ->
+                  if x < 0 || x >= Mlo_ir.Array_info.extent info d then
+                    Alcotest.failf "out of bounds dim %d: %d" d x)
+                el)
+            (Loop_nest.accesses nest)))
+    (Program.nests prog)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rotation_pipeline () =
+  let rot, req = Kernels.rotate3 ~name:"rot" ~n:24 ~dst:"D" ~src:"S" in
+  let prog = Program.make ~name:"rot3" (Kernels.declare req) [ rot ] in
+  let b = Build.build prog in
+  (match Solver.solve ~config:(Mlo_csp.Schemes.enhanced ()) b.Build.network with
+  | { Solver.outcome = Solver.Solution a; _ } ->
+    (* the network demands src keeps its first axis fastest *)
+    (match Build.lookup b a "S" with
+    | Some l ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "solution serves src" true
+            (Hyperplane.orthogonal_to y [| 1; 0; 0 |]))
+        (Layout.hyperplanes l)
+    | None -> Alcotest.fail "S missing")
+  | _ -> Alcotest.fail "rotation network must be satisfiable");
+  let original = Optimizer.simulate_original prog in
+  let sol = Optimizer.optimize (Optimizer.Enhanced 1) prog in
+  let optimized = Optimizer.simulate sol in
+  Alcotest.(check bool) "3-D layout optimization improves the rotation" true
+    (Simulate.cycles optimized < Simulate.cycles original)
+
+let test_mixed_rank_program () =
+  (* rank-1, rank-2 and rank-3 arrays in one program *)
+  let x = Mlo_ir.Builder.ctx [ "i"; "j" ] in
+  let i = Mlo_ir.Builder.var x "i" and j = Mlo_ir.Builder.var x "j" in
+  let nest =
+    Mlo_ir.Builder.nest "mix" x [ 8; 8 ]
+      [
+        Mlo_ir.Builder.read "V" [ j ];
+        Mlo_ir.Builder.read "M" [ j; i ];
+        Mlo_ir.Builder.read "T" [ i; j; j ];
+        Mlo_ir.Builder.write "M" [ j; i ];
+      ]
+  in
+  let prog =
+    Program.make ~name:"mixed"
+      [
+        Mlo_ir.Array_info.make "V" [ 8 ];
+        Mlo_ir.Array_info.make "M" [ 8; 8 ];
+        Mlo_ir.Array_info.make "T" [ 8; 8; 8 ];
+      ]
+      [ nest ]
+  in
+  let sol = Optimizer.optimize (Optimizer.Enhanced 1) prog in
+  List.iter
+    (fun (name, l) ->
+      let expected_rank =
+        Mlo_ir.Array_info.rank (Program.find_array prog name)
+      in
+      Alcotest.(check int) (name ^ " rank") expected_rank (Layout.rank l))
+    sol.Optimizer.layouts
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "locality",
+        [
+          Alcotest.test_case "rotation preferences" `Quick
+            test_rank3_locality_rotation;
+          Alcotest.test_case "serves" `Quick test_rank3_serves;
+          QCheck_alcotest.to_alcotest prop_rank3_derived_serves;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "col-major adjacency" `Quick
+            test_rank3_transform_col_major;
+          Alcotest.test_case "injectivity" `Quick test_rank3_transform_injective;
+          Alcotest.test_case "address map" `Quick test_rank3_address_map;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "batched matmul permutable" `Quick
+            test_batched_matmul_fully_permutable;
+          Alcotest.test_case "stencil in bounds" `Quick test_stencil7_in_bounds;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "rotation end to end" `Quick test_rotation_pipeline;
+          Alcotest.test_case "mixed ranks" `Quick test_mixed_rank_program;
+        ] );
+    ]
