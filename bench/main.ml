@@ -100,28 +100,111 @@ let table3_tests =
                | _ -> None))));
   ]
 
-let benchmark () =
+let median samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* Runs every kernel and returns (name, median ns/run, OLS ns/run) rows,
+   in test order.  Medians come straight from the raw per-sample
+   measurements; OLS is bechamel's usual run-predictor fit. *)
+let benchmark ~quota () =
   let tests = table1_tests @ table2_tests @ fig4_tests @ table3_tests in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  Format.printf "Bechamel micro-benchmarks (monotonic clock):@.";
-  List.iter
+  let label = Measure.label Instance.monotonic_clock in
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-            Format.printf "  %-34s %14.1f ns/run@." name est
-          | Some _ | None -> Format.printf "  %-34s (no estimate)@." name)
-        results)
-    tests;
+      Hashtbl.fold
+        (fun name (b : Benchmark.t) acc ->
+          let med =
+            median
+              (Array.map
+                 (fun m ->
+                   Measurement_raw.get ~label m /. Measurement_raw.run m)
+                 b.Benchmark.lr)
+          in
+          let est =
+            match Hashtbl.find_opt results name with
+            | Some r -> (
+              match Analyze.OLS.estimates r with
+              | Some [ e ] -> Some e
+              | Some _ | None -> None)
+            | None -> None
+          in
+          (name, med, est) :: acc)
+        raw []
+      |> List.sort compare)
+    tests
+
+let print_benchmark rows =
+  Format.printf "Bechamel micro-benchmarks (monotonic clock):@.";
+  List.iter
+    (fun (name, med, est) ->
+      match est with
+      | Some e ->
+        Format.printf "  %-34s %14.1f ns/run (median %14.1f)@." name e med
+      | None -> Format.printf "  %-34s median %14.1f ns/run@." name med)
+    rows;
   Format.printf "@."
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file rows =
+  let oc = open_out file in
+  output_string oc "{\n  \"clock\": \"monotonic\",\n  \"unit\": \"ns/run\",\n  \"kernels\": {\n";
+  List.iteri
+    (fun i (name, med, _) ->
+      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) med
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Format.printf "wrote %d kernel medians to %s@." (List.length rows) file
+
+let usage () =
+  prerr_endline
+    "usage: bench [--tables | --json [FILE] | --smoke]\n\
+     \  (default)     print the paper's tables then run the micro-benchmarks\n\
+     \  --tables      print the paper's tables only\n\
+     \  --json [FILE] run the micro-benchmarks and dump per-kernel medians\n\
+     \                as JSON (default FILE: BENCH_solver.json)\n\
+     \  --smoke       short benchmark run, no tables (CI)";
+  exit 2
+
 let () =
-  print_tables ();
-  benchmark ()
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+    print_tables ();
+    print_benchmark (benchmark ~quota:0.5 ())
+  | [ _; "--tables" ] -> print_tables ()
+  | _ :: "--json" :: rest ->
+    let file =
+      match rest with
+      | [] -> "BENCH_solver.json"
+      | [ f ] -> f
+      | _ -> usage ()
+    in
+    let rows = benchmark ~quota:0.5 () in
+    print_benchmark rows;
+    write_json file rows
+  | [ _; "--smoke" ] -> print_benchmark (benchmark ~quota:0.05 ())
+  | _ -> usage ()

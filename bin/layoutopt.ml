@@ -35,10 +35,13 @@ let workload_arg =
     & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
 let scheme_arg =
-  let doc = "Optimization scheme: heuristic, base or enhanced." in
+  let doc = "Optimization scheme: heuristic, base, enhanced or enhanced-ac." in
   Arg.(
     value
-    & opt (enum [ ("heuristic", `Heuristic); ("base", `Base); ("enhanced", `Enhanced) ])
+    & opt
+        (enum
+           [ ("heuristic", `Heuristic); ("base", `Base);
+             ("enhanced", `Enhanced); ("enhanced-ac", `Enhanced_ac) ])
         `Enhanced
     & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
@@ -58,6 +61,7 @@ let scheme_of ~seed = function
   | `Heuristic -> Optimizer.Heuristic
   | `Base -> Optimizer.Base seed
   | `Enhanced -> Optimizer.Enhanced seed
+  | `Enhanced_ac -> Optimizer.Enhanced_ac seed
 
 (* ------------------------------------------------------------------ *)
 (* show                                                                 *)

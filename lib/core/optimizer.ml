@@ -9,7 +9,12 @@ module Propagation = Mlo_heuristic.Propagation
 module Simulate = Mlo_cachesim.Simulate
 module Hierarchy = Mlo_cachesim.Hierarchy
 
-type scheme = Heuristic | Base of int | Enhanced of int | Custom of Solver.config
+type scheme =
+  | Heuristic
+  | Base of int
+  | Enhanced of int
+  | Enhanced_ac of int
+  | Custom of Solver.config
 
 type solution = {
   layouts : (string * Layout.t) list;
@@ -25,10 +30,11 @@ let config_of_scheme ?max_checks = function
   | Heuristic -> None
   | Base seed -> Some (Schemes.base ~seed ?max_checks ())
   | Enhanced seed -> Some (Schemes.enhanced ~seed ?max_checks ())
+  | Enhanced_ac seed -> Some (Schemes.enhanced_with_ac ~seed ?max_checks ())
   | Custom c -> Some c
 
 let optimize ?candidates ?max_checks scheme prog =
-  let t0 = Sys.time () in
+  let t0 = Mlo_csp.Clock.wall_s () in
   match config_of_scheme ?max_checks scheme with
   | None ->
     let r = Propagation.optimize prog in
@@ -39,7 +45,7 @@ let optimize ?candidates ?max_checks scheme prog =
       restructured;
       solver_stats = None;
       heuristic_evaluations = Some r.Propagation.evaluations;
-      elapsed_s = Sys.time () -. t0;
+      elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
     }
   | Some config ->
     let build = Build.build ?candidates prog in
@@ -58,7 +64,7 @@ let optimize ?candidates ?max_checks scheme prog =
         restructured;
         solver_stats = Some result.Solver.stats;
         heuristic_evaluations = None;
-        elapsed_s = Sys.time () -. t0;
+        elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
       })
 
 let lookup sol name = List.assoc_opt name sol.layouts

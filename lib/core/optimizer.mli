@@ -11,6 +11,8 @@ type scheme =
   | Heuristic  (** the paper's comparison baseline (Leung-Zahorjan style) *)
   | Base of int  (** the paper's base scheme with the given seed *)
   | Enhanced of int  (** the paper's enhanced scheme with the given seed *)
+  | Enhanced_ac of int
+      (** enhanced scheme with AC-2001 arc-consistency preprocessing *)
   | Custom of Mlo_csp.Solver.config
 
 type solution = {

@@ -1,0 +1,24 @@
+/* Thin clock_gettime wrappers returning nanoseconds as an OCaml int.
+
+   Returning a tagged immediate (not a boxed int64 or float) keeps a
+   clock read allocation-free; 63-bit nanoseconds overflow after ~146
+   years of uptime, which is not a concern for either clock.  The
+   [noalloc] externals in clock.ml rely on these never touching the
+   OCaml heap. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value mlo_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat) ts.tv_sec * 1000000000 + ts.tv_nsec);
+}
+
+CAMLprim value mlo_clock_cputime_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return Val_long((intnat) ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -3,6 +3,7 @@ type 'a t = {
   domains : 'a array array;
   cons : (int * int, Relation.t) Hashtbl.t; (* keyed (i, j) with i < j *)
   neighbors : int list array; (* kept sorted ascending *)
+  mutable compiled : Compiled.t option; (* memoized dense view *)
 }
 
 let create ~names ~domains =
@@ -16,6 +17,7 @@ let create ~names ~domains =
     domains = Array.map Array.copy domains;
     cons = Hashtbl.create 64;
     neighbors = Array.make (Array.length names) [];
+    compiled = None;
   }
 
 let num_vars t = Array.length t.names
@@ -43,6 +45,7 @@ let add_allowed t i j pairs =
   check_var t i;
   check_var t j;
   if i = j then invalid_arg "Network.add_allowed: i = j";
+  t.compiled <- None;
   let a, b = key i j in
   let rel =
     match Hashtbl.find_opt t.cons (a, b) with
@@ -121,7 +124,50 @@ let map_values f t =
     domains = Array.map (Array.map f) t.domains;
     cons;
     neighbors = Array.copy t.neighbors;
+    compiled = None;
   }
+
+(* Lower the hashtable-of-relations representation into the dense
+   Compiled view: both constraint orientations, support rows as int-word
+   bitsets, support popcounts, neighbour arrays.  Memoized until the next
+   [add_allowed]; O(sum of |dom i| * |dom j| over constrained pairs). *)
+let compile t =
+  match t.compiled with
+  | Some c -> c
+  | None ->
+    let n = num_vars t in
+    let dom_size = Array.init n (fun i -> Array.length t.domains.(i)) in
+    let neighbors = Array.map Array.of_list t.neighbors in
+    let handle = Array.make (n * n) (-1) in
+    let pairs = constraint_pairs t in
+    let m = List.length pairs in
+    let rows = Array.make (2 * m) [||] in
+    let supcnt = Array.make (2 * m) [||] in
+    List.iteri
+      (fun k (i, j) ->
+        let rel = Hashtbl.find t.cons (i, j) in
+        let hij = 2 * k and hji = (2 * k) + 1 in
+        handle.((i * n) + j) <- hij;
+        handle.((j * n) + i) <- hji;
+        let li = dom_size.(i) and lj = dom_size.(j) in
+        let rij = Array.init li (fun _ -> Bitset.row_make lj) in
+        let rji = Array.init lj (fun _ -> Bitset.row_make li) in
+        for vi = 0 to li - 1 do
+          for vj = 0 to lj - 1 do
+            if Relation.mem rel vi vj then begin
+              Bitset.row_add rij.(vi) vj;
+              Bitset.row_add rji.(vj) vi
+            end
+          done
+        done;
+        rows.(hij) <- rij;
+        rows.(hji) <- rji;
+        supcnt.(hij) <- Array.init li (Relation.left_support rel);
+        supcnt.(hji) <- Array.init lj (Relation.right_support rel))
+      pairs;
+    let c = Compiled.make ~dom_size ~neighbors ~handle ~rows ~supcnt in
+    t.compiled <- Some c;
+    c
 
 let pp pp_value ppf t =
   Format.fprintf ppf "@[<v>network: %d variables, %d constraints@," (num_vars t)

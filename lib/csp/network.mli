@@ -47,8 +47,16 @@ val support_count : 'a t -> int -> int -> int -> int
     with [i = vi]; [domain_size t j] when the pair is unconstrained. *)
 
 val relation : 'a t -> int -> int -> Relation.t option
-(** The relation between [i] and [j], oriented with [i] on the left
-    (a transposed copy if stored the other way). *)
+(** The relation between [i] and [j], oriented with [i] on the left.
+    When stored the other way the returned transpose is a cached
+    snapshot (rebuilt only after the constraint is next mutated):
+    treat it as read-only. *)
+
+val compile : 'a t -> Compiled.t
+(** The dense, value-index-only view of the network the solver and
+    AC-2001 run on: an n x n directed constraint-handle matrix, int-word
+    support rows, support popcounts, neighbour arrays (see {!Compiled}).
+    Memoized; invalidated by {!add_allowed}. *)
 
 val neighbors : 'a t -> int -> int list
 (** Variables sharing a constraint with the given one, ascending. *)

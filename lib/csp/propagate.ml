@@ -46,6 +46,11 @@ let ac3 net =
   done;
   match !wiped with Some i -> Wiped i | None -> Reduced domains
 
+let ac2001 net =
+  match Ac2001.run (Network.compile net) with
+  | Error i -> Wiped i
+  | Ok domains -> Reduced domains
+
 let restrict net domains =
   let n = Network.num_vars net in
   if Array.length domains <> n then

@@ -15,6 +15,12 @@ val ac3 : 'a Network.t -> outcome
 (** Standard AC-3 over the constraint graph.  The input network is not
     modified. *)
 
+val ac2001 : 'a Network.t -> outcome
+(** AC-2001/3.1 on the compiled network view ({!Ac2001}): same (unique)
+    fixpoint as {!ac3}, each revision re-checking one remembered support
+    instead of re-scanning the neighbour domain.  The input network is
+    not modified (its memoized compiled view may be built). *)
+
 val restrict : 'a Network.t -> Bitset.t array -> 'a Network.t
 (** [restrict net domains] builds a new network whose variable domains are
     the members of [domains] (value order preserved) and whose constraints

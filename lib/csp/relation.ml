@@ -5,6 +5,8 @@ type t = {
   lsup : int array;
   rsup : int array;
   mutable pairs : int;
+  mutable memo_transpose : t option;
+      (* cached transposed snapshot; invalidated by add *)
 }
 
 let create ~left ~right =
@@ -16,6 +18,7 @@ let create ~left ~right =
     lsup = Array.make left 0;
     rsup = Array.make right 0;
     pairs = 0;
+    memo_transpose = None;
   }
 
 let left_size t = t.left
@@ -39,7 +42,8 @@ let add t l r =
       (Char.chr (Char.code (Bytes.unsafe_get t.bits w) lor (1 lsl b)));
     t.lsup.(l) <- t.lsup.(l) + 1;
     t.rsup.(r) <- t.rsup.(r) + 1;
-    t.pairs <- t.pairs + 1
+    t.pairs <- t.pairs + 1;
+    t.memo_transpose <- None
   end
 
 let pair_count t = t.pairs
@@ -62,9 +66,13 @@ let fold f t init =
   !acc
 
 let transpose t =
-  let t' = create ~left:t.right ~right:t.left in
-  ignore (fold (fun l r () -> add t' r l) t ());
-  t'
+  match t.memo_transpose with
+  | Some t' -> t'
+  | None ->
+    let t' = create ~left:t.right ~right:t.left in
+    ignore (fold (fun l r () -> add t' r l) t ());
+    t.memo_transpose <- Some t';
+    t'
 
 let copy t =
   {
@@ -74,6 +82,7 @@ let copy t =
     lsup = Array.copy t.lsup;
     rsup = Array.copy t.rsup;
     pairs = t.pairs;
+    memo_transpose = None;
   }
 
 let pp ppf t =

@@ -32,7 +32,9 @@ val supports_of_left : t -> int -> int list
 val supports_of_right : t -> int -> int list
 
 val transpose : t -> t
-(** The same relation viewed from the other side. *)
+(** The same relation viewed from the other side.  The result is a cached
+    snapshot, shared between calls until the relation is next mutated:
+    treat it as read-only, and {!copy} it before calling {!add} on it. *)
 
 val copy : t -> t
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,9 +1,11 @@
-let make ?(seed = 1) ?max_checks var_policy val_policy backward lookahead =
+let make ?(seed = 1) ?max_checks ?(preprocess = Solver.No_preprocess)
+    var_policy val_policy backward lookahead =
   {
     Solver.var_policy;
     val_policy;
     backward;
     lookahead;
+    preprocess;
     seed;
     max_checks;
   }
@@ -27,6 +29,11 @@ let base_plus_value_selection ?seed ?max_checks () =
 let base_plus_backjumping ?seed ?max_checks () =
   make ?seed ?max_checks Solver.Random_var Solver.Random_val
     Solver.Graph_based Solver.No_lookahead
+
+let enhanced_with_ac ?seed ?max_checks () =
+  make ?seed ?max_checks ~preprocess:Solver.Arc_consistency
+    Solver.Most_constraining Solver.Least_constraining Solver.Graph_based
+    Solver.No_lookahead
 
 type ablation = { label : string; config : Solver.config }
 
@@ -62,6 +69,7 @@ let extension_schemes ?seed ?max_checks () =
           Solver.Least_constraining Solver.Graph_based
           Solver.Forward_checking;
     };
+    { label = "Enhanced+AC"; config = enhanced_with_ac ?seed ?max_checks () };
   ]
 
 let breakdown ~base_checks ~enhanced_checks ~single =

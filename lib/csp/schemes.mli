@@ -23,6 +23,11 @@ val base_plus_backjumping :
   ?seed:int -> ?max_checks:int -> unit -> Solver.config
 (** Base scheme with only backjumping. *)
 
+val enhanced_with_ac : ?seed:int -> ?max_checks:int -> unit -> Solver.config
+(** Enhanced scheme with AC-2001 arc-consistency preprocessing
+    ({!Solver.preprocess}): every domain the search and its heuristics
+    range over is first reduced to its arc-consistent core. *)
+
 type ablation = {
   label : string;
   config : Solver.config;
@@ -34,7 +39,7 @@ val figure4_schemes : ?seed:int -> ?max_checks:int -> unit -> ablation list
 
 val extension_schemes : ?seed:int -> ?max_checks:int -> unit -> ablation list
 (** Beyond the paper: enhanced scheme with conflict-directed backjumping,
-    and enhanced scheme with forward checking. *)
+    with forward checking, and with AC-2001 preprocessing. *)
 
 val breakdown :
   base_checks:int -> enhanced_checks:int -> single:(string * int) list ->

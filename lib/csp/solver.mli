@@ -14,11 +14,23 @@
       deepest instantiated variable sharing a constraint with the
       dead-end variable), or conflict-directed backjumping;
     - {b lookahead} — optionally prune future domains (forward checking),
-      an extension the paper does not evaluate.
+      an extension the paper does not evaluate;
+    - {b preprocess} — optionally establish arc consistency (AC-2001)
+      before the search starts, shrinking every domain the search and the
+      lookahead run over.
 
     All policies are complete: if the network has a solution, every
     configuration finds one (possibly a different one, as the paper notes
-    for its Table 3). *)
+    for its Table 3).
+
+    {!solve} runs on the {e compiled} network view ({!Network.compile}):
+    consistency checks are O(1) dense-table probes and forward checking
+    prunes whole neighbour domains word-parallel.  {!solve_reference} is
+    the original hashtable-probing engine, kept as the executable
+    specification: both produce identical outcomes and identical
+    node/backtrack/backjump counts for every configuration (property
+    tested); under forward checking they count [checks] differently (see
+    {!Stats}). *)
 
 type var_policy =
   | Lexicographic_var  (** lowest-numbered uninstantiated variable *)
@@ -49,11 +61,19 @@ type backward_policy =
 
 type lookahead = No_lookahead | Forward_checking
 
+type preprocess =
+  | No_preprocess
+  | Arc_consistency
+      (** run AC-2001 first; arc-inconsistent values never appear in any
+          solution, so completeness is preserved.  Propagation work is
+          not counted in [Stats.checks]. *)
+
 type config = {
   var_policy : var_policy;
   val_policy : val_policy;
   backward : backward_policy;
   lookahead : lookahead;
+  preprocess : preprocess;
   seed : int;  (** seed for the random policies *)
   max_checks : int option;
       (** abort the search after this many consistency checks *)
@@ -61,7 +81,7 @@ type config = {
 
 val default_config : config
 (** Lexicographic orderings, chronological backtracking, no lookahead,
-    seed 0, no check limit. *)
+    no preprocessing, seed 0, no check limit. *)
 
 type outcome =
   | Solution of int array  (** value index per variable *)
@@ -71,9 +91,20 @@ type outcome =
 type result = { outcome : outcome; stats : Stats.t }
 
 val solve : ?config:config -> 'a Network.t -> result
-(** Runs the search.  The returned assignment (if any) satisfies
-    {!Network.verify}. *)
+(** Runs the search on [Network.compile net] (memoized — repeated solves
+    of the same network compile once).  The returned assignment (if any)
+    satisfies {!Network.verify}. *)
+
+val solve_compiled : ?config:config -> Compiled.t -> result
+(** Runs the search directly on an already-compiled view. *)
 
 val solve_values : ?config:config -> 'a Network.t -> ('a array * result) option
 (** Convenience: like {!solve} but materializes the domain values of the
     solution; [None] when unsatisfiable or aborted. *)
+
+val solve_reference : ?config:config -> 'a Network.t -> result
+(** The original (pre-compilation) engine, kept as the executable
+    specification for equivalence testing: same outcomes and same
+    node/backtrack/backjump counts as {!solve} for every configuration.
+    Slower; counts one check per value probe under forward checking;
+    ignores [config.preprocess]. *)

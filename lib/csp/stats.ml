@@ -6,6 +6,7 @@ type t = {
   mutable prunings : int;
   mutable max_depth : int;
   mutable elapsed_s : float;
+  mutable cpu_s : float;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     prunings = 0;
     max_depth = 0;
     elapsed_s = 0.;
+    cpu_s = 0.;
   }
 
 let reset t =
@@ -26,7 +28,8 @@ let reset t =
   t.backjumps <- 0;
   t.prunings <- 0;
   t.max_depth <- 0;
-  t.elapsed_s <- 0.
+  t.elapsed_s <- 0.;
+  t.cpu_s <- 0.
 
 let add a b =
   {
@@ -37,9 +40,12 @@ let add a b =
     prunings = a.prunings + b.prunings;
     max_depth = max a.max_depth b.max_depth;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
+    cpu_s = a.cpu_s +. b.cpu_s;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d depth=%d time=%.4fs"
-    t.nodes t.checks t.backtracks t.backjumps t.prunings t.max_depth t.elapsed_s
+    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d depth=%d \
+     time=%.4fs cpu=%.4fs"
+    t.nodes t.checks t.backtracks t.backjumps t.prunings t.max_depth
+    t.elapsed_s t.cpu_s

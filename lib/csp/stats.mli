@@ -1,17 +1,27 @@
 (** Search-effort counters.
 
     Consistency checks are the machine-independent proxy for the paper's
-    Table 2 solution times; wall-clock seconds are also recorded when the
-    search is timed. *)
+    Table 2 solution times; both monotonic wall-clock and CPU seconds are
+    also recorded when the search is timed.
+
+    On the compiled solver core a "check" is one support-row lookup:
+    under no lookahead that is exactly one binary consistency check, as
+    before; under forward checking one row lookup prunes a whole
+    neighbour domain word-parallel, so [checks] counts row fetches rather
+    than the per-value probes the byte-at-a-time implementation
+    performed ({!Solver.solve_reference} retains the historical
+    accounting). *)
 
 type t = {
   mutable nodes : int;  (** variable instantiations attempted *)
-  mutable checks : int;  (** binary consistency checks performed *)
+  mutable checks : int;  (** support-row lookups / consistency checks *)
   mutable backtracks : int;  (** chronological backward steps *)
   mutable backjumps : int;  (** non-chronological backward steps *)
   mutable prunings : int;  (** domain values removed by lookahead *)
   mutable max_depth : int;  (** deepest consistent partial instantiation *)
-  mutable elapsed_s : float;  (** wall-clock seconds, if timed *)
+  mutable elapsed_s : float;
+      (** monotonic wall-clock seconds ({!Clock.wall_s}), if timed *)
+  mutable cpu_s : float;  (** process CPU seconds ({!Clock.cpu_s}) *)
 }
 
 val create : unit -> t

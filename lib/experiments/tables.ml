@@ -237,20 +237,11 @@ let run_ablation ?(seed = 1) ?(max_checks = default_max_checks) () =
       let per_scheme =
         List.map (fun (label, config) -> (label, solve_effort config net)) schemes
       in
-      (* AC-3 preprocessing followed by the enhanced scheme on the
-         reduced network *)
-      let ac3 =
-        let t0 = Sys.time () in
-        match Mlo_csp.Propagate.ac3 net with
-        | Mlo_csp.Propagate.Wiped _ ->
-          { work = 0; seconds = Sys.time () -. t0; capped = false }
-        | Mlo_csp.Propagate.Reduced domains ->
-          let reduced = Mlo_csp.Propagate.restrict net domains in
-          let e = solve_effort (Schemes.enhanced ~seed ~max_checks ()) reduced in
-          { e with seconds = e.seconds +. (Sys.time () -. t0) }
-      in
+      (* AC-2001 preprocessing is covered by extension_schemes's
+         Enhanced+AC entry: work counts search checks only, seconds
+         include propagation *)
       let min_conflicts =
-        let t0 = Sys.time () in
+        let t0 = Mlo_csp.Clock.wall_s () in
         let r =
           Mlo_csp.Local_search.solve
             ~config:{ Mlo_csp.Local_search.default_config with seed }
@@ -258,7 +249,7 @@ let run_ablation ?(seed = 1) ?(max_checks = default_max_checks) () =
         in
         {
           work = r.Mlo_csp.Local_search.steps;
-          seconds = Sys.time () -. t0;
+          seconds = Mlo_csp.Clock.wall_s () -. t0;
           capped =
             (match r.Mlo_csp.Local_search.outcome with
             | Mlo_csp.Local_search.Solution _ -> false
@@ -267,9 +258,7 @@ let run_ablation ?(seed = 1) ?(max_checks = default_max_checks) () =
       in
       {
         ab_name = spec.Spec.name;
-        per_scheme =
-          per_scheme
-          @ [ ("AC3+Enhanced", ac3); ("MinConflicts", min_conflicts) ];
+        per_scheme = per_scheme @ [ ("MinConflicts", min_conflicts) ];
       })
     (Suite.all ())
 

@@ -37,7 +37,7 @@ let variant_score prog fixed demanded nest =
   Locality.nest_score lookup nest
 
 let optimize prog =
-  let t0 = Sys.time () in
+  let t0 = Mlo_csp.Clock.wall_s () in
   let fixed : (string, Layout.t) Hashtbl.t = Hashtbl.create 16 in
   let evaluations = ref 0 in
   let ranked = Cost.ranked_nests prog in
@@ -83,7 +83,7 @@ let optimize prog =
     layouts;
     nest_order = List.map fst ranked;
     evaluations = !evaluations;
-    elapsed_s = Sys.time () -. t0;
+    elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
   }
 
 let lookup r name = List.assoc_opt name r.layouts

@@ -1,0 +1,255 @@
+(* Equivalence tests for the compiled solver core.
+
+   The compiled engine (Solver.solve on Network.compile) must be
+   decision-for-decision identical to the reference engine
+   (Solver.solve_reference): same outcomes, same assignments, same
+   node/backtrack/backjump counts for every configuration.  AC-2001 must
+   reach the same (unique) fixpoint as AC-3. *)
+
+module Network = Mlo_csp.Network
+module Compiled = Mlo_csp.Compiled
+module Solver = Mlo_csp.Solver
+module Schemes = Mlo_csp.Schemes
+module Brute = Mlo_csp.Brute
+module Propagate = Mlo_csp.Propagate
+module Bitset = Mlo_csp.Bitset
+module Rng = Mlo_csp.Rng
+module Stats = Mlo_csp.Stats
+
+(* Same generator as test_csp: small random networks of 2-6 variables,
+   domains of 1-3 values, ~60% pair density, ~55% allowed pairs. *)
+let random_network seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 5 in
+  let names = Array.init n (fun i -> Printf.sprintf "v%d" i) in
+  let domains =
+    Array.init n (fun _ -> Array.init (1 + Rng.int rng 3) Fun.id)
+  in
+  let net = Network.create ~names ~domains in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.int rng 100 < 60 then begin
+        let pairs = ref [] in
+        for vi = 0 to Array.length domains.(i) - 1 do
+          for vj = 0 to Array.length domains.(j) - 1 do
+            if Rng.int rng 100 < 55 then pairs := (vi, vj) :: !pairs
+          done
+        done;
+        Network.add_allowed net i j !pairs
+      end
+    done
+  done;
+  net
+
+(* Every search configuration exercised for equivalence.  Preprocessing
+   configs are excluded here (solve_reference ignores them) and covered
+   by their own soundness property below. *)
+let equivalence_configs ~seed =
+  [
+    ("base", Schemes.base ~seed ());
+    ("enhanced", Schemes.enhanced ~seed ());
+    ("default", Solver.default_config);
+    ( "cbj",
+      { Solver.default_config with backward = Solver.Conflict_directed } );
+    ( "fc",
+      { Solver.default_config with lookahead = Solver.Forward_checking } );
+    ( "fc+cbj+mostconstraining",
+      {
+        Solver.default_config with
+        lookahead = Solver.Forward_checking;
+        backward = Solver.Conflict_directed;
+        var_policy = Solver.Most_constraining;
+        val_policy = Solver.Least_constraining;
+      } );
+    ( "min-domain+fc",
+      {
+        Solver.default_config with
+        lookahead = Solver.Forward_checking;
+        var_policy = Solver.Min_domain;
+      } );
+  ]
+  @ List.map
+      (fun a -> (a.Schemes.label, a.Schemes.config))
+      (Schemes.figure4_schemes ~seed ())
+
+let outcome_label = function
+  | Solver.Solution _ -> "solution"
+  | Solver.Unsatisfiable -> "unsatisfiable"
+  | Solver.Aborted -> "aborted"
+
+(* ------------------------------------------------------------------ *)
+(* Compiled view vs network queries                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_compiled_matches_network =
+  QCheck.Test.make ~name:"compiled allowed/support_count match the network"
+    ~count:200 QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      let comp = Network.compile net in
+      let n = Network.num_vars net in
+      let ok = ref (Compiled.num_vars comp = n) in
+      for i = 0 to n - 1 do
+        ok :=
+          !ok
+          && Compiled.domain_size comp i = Network.domain_size net i
+          && Compiled.neighbors comp i |> Array.to_list
+             = Network.neighbors net i;
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            ok :=
+              !ok
+              && Compiled.constrained comp i j = Network.constrained net i j;
+            for vi = 0 to Network.domain_size net i - 1 do
+              ok :=
+                !ok
+                && Compiled.support_count comp i vi j
+                   = Network.support_count net i vi j;
+              for vj = 0 to Network.domain_size net j - 1 do
+                ok :=
+                  !ok
+                  && Compiled.allowed comp i vi j vj
+                     = Network.allowed net i vi j vj
+              done
+            done
+          end
+        done
+      done;
+      !ok)
+
+let test_compile_memoized () =
+  let net = random_network 5 in
+  let c1 = Network.compile net in
+  let c2 = Network.compile net in
+  Alcotest.(check bool) "same physical view" true (c1 == c2);
+  Network.add_allowed net 0 1 [ (0, 0) ];
+  let c3 = Network.compile net in
+  Alcotest.(check bool) "mutation invalidates" true (not (c3 == c1));
+  Alcotest.(check bool) "recompiled view sees the new pair" true
+    (Compiled.allowed c3 0 0 1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled solver == reference solver                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engines_agree config_name config =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "compiled == reference (%s)" config_name)
+    ~count:150 QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      let c = Solver.solve ~config net in
+      let r = Solver.solve_reference ~config net in
+      let same_outcome =
+        match (c.Solver.outcome, r.Solver.outcome) with
+        | Solver.Solution a, Solver.Solution b -> a = b
+        | Solver.Unsatisfiable, Solver.Unsatisfiable -> true
+        | Solver.Aborted, Solver.Aborted -> true
+        | _ -> false
+      in
+      if not same_outcome then
+        QCheck.Test.fail_reportf "outcome: compiled=%s reference=%s"
+          (outcome_label c.Solver.outcome)
+          (outcome_label r.Solver.outcome);
+      let cs = c.Solver.stats and rs = r.Solver.stats in
+      if
+        cs.Stats.nodes <> rs.Stats.nodes
+        || cs.Stats.backtracks <> rs.Stats.backtracks
+        || cs.Stats.backjumps <> rs.Stats.backjumps
+        || cs.Stats.max_depth <> rs.Stats.max_depth
+      then
+        QCheck.Test.fail_reportf
+          "counters: compiled n=%d bt=%d bj=%d d=%d, reference n=%d bt=%d \
+           bj=%d d=%d"
+          cs.Stats.nodes cs.Stats.backtracks cs.Stats.backjumps
+          cs.Stats.max_depth rs.Stats.nodes rs.Stats.backtracks
+          rs.Stats.backjumps rs.Stats.max_depth;
+      (* check counting is identical without lookahead; under forward
+         checking the compiled engine counts row fetches, the reference
+         counts value probes *)
+      (match config.Solver.lookahead with
+      | Solver.No_lookahead ->
+        if cs.Stats.checks <> rs.Stats.checks then
+          QCheck.Test.fail_reportf "checks: compiled=%d reference=%d"
+            cs.Stats.checks rs.Stats.checks
+      | Solver.Forward_checking -> ());
+      true)
+
+let engine_props =
+  List.map
+    (fun (label, config) ->
+      QCheck_alcotest.to_alcotest (prop_engines_agree label config))
+    (equivalence_configs ~seed:17)
+
+let prop_preprocessing_sound =
+  QCheck.Test.make ~name:"AC preprocessing preserves satisfiability"
+    ~count:150 QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      let config = Schemes.enhanced_with_ac ~seed:(seed + 3) () in
+      let expected = Brute.is_satisfiable net in
+      match (Solver.solve ~config net).Solver.outcome with
+      | Solver.Solution a -> expected && Network.verify net a
+      | Solver.Unsatisfiable -> not expected
+      | Solver.Aborted -> false)
+
+(* ------------------------------------------------------------------ *)
+(* AC-2001 == AC-3                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ac2001_matches_ac3 =
+  QCheck.Test.make ~name:"AC-2001 reaches the AC-3 fixpoint" ~count:200
+    QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      match (Propagate.ac3 net, Propagate.ac2001 net) with
+      | Propagate.Wiped _, Propagate.Wiped _ -> true
+      | Propagate.Reduced d3, Propagate.Reduced d1 ->
+        Array.length d3 = Array.length d1
+        && Array.for_all2 Bitset.equal d3 d1
+      | Propagate.Wiped _, Propagate.Reduced _
+      | Propagate.Reduced _, Propagate.Wiped _ ->
+        false)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset row operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_rows () =
+  (* capacity crossing the 32-bit word boundary *)
+  let cap = 70 in
+  let row = Bitset.row_make cap in
+  List.iter (fun i -> Bitset.row_add row i) [ 0; 31; 32; 33; 64; 69 ];
+  Alcotest.(check int) "row_count" 6 (Bitset.row_count row);
+  Alcotest.(check bool) "row_mem hit" true (Bitset.row_mem row 33);
+  Alcotest.(check bool) "row_mem miss" false (Bitset.row_mem row 34);
+  let b = Bitset.create_empty cap in
+  List.iter (Bitset.add b) [ 31; 34; 64 ];
+  Alcotest.(check int) "inter_count" 2 (Bitset.inter_count b row);
+  Alcotest.(check bool) "inter_exists" true (Bitset.inter_exists b row);
+  Alcotest.(check (option int)) "inter_choose" (Some 31)
+    (Bitset.inter_choose b row);
+  let diff = ref [] in
+  Bitset.iter_diff (fun v -> diff := v :: !diff) b row;
+  Alcotest.(check (list int)) "iter_diff = members outside the row" [ 34 ]
+    (List.rev !diff);
+  let empty = Bitset.create_empty cap in
+  Alcotest.(check bool) "inter_exists empty" false
+    (Bitset.inter_exists empty row);
+  Alcotest.(check (option int)) "inter_choose empty" None
+    (Bitset.inter_choose empty row);
+  Alcotest.(check (list int)) "to_array ascending" [ 31; 34; 64 ]
+    (Array.to_list (Bitset.to_array b))
+
+let () =
+  Alcotest.run "compiled"
+    [
+      ( "view",
+        [
+          QCheck_alcotest.to_alcotest prop_compiled_matches_network;
+          Alcotest.test_case "compile is memoized" `Quick test_compile_memoized;
+          Alcotest.test_case "bitset rows" `Quick test_bitset_rows;
+        ] );
+      ("engines", engine_props);
+      ( "preprocessing",
+        [
+          QCheck_alcotest.to_alcotest prop_preprocessing_sound;
+          QCheck_alcotest.to_alcotest prop_ac2001_matches_ac3;
+        ] );
+    ]
