@@ -88,17 +88,43 @@ let table3_tests =
     Mlo_ir.Program.make ~name:"bench-mm" (Mlo_workloads.Kernels.declare req)
       [ mm ]
   in
+  let colB = function
+    | "B" -> Some (Mlo_layout.Layout.col_major 2)
+    | _ -> None
+  in
+  (* The Table-3 sweep shape: one program, several layout assignments
+     (here 8 = 4 code versions x 2, big enough to keep 4 domains busy). *)
+  let sweep =
+    List.concat
+      (List.init 4 (fun _ -> [ (fun _ -> None); colB ]))
+  in
   [
     Test.make ~name:"table3/simulate:matmul32-row"
       (Staged.stage (fun () ->
            ignore (Simulate.run prog ~layouts:(fun _ -> None))));
     Test.make ~name:"table3/simulate:matmul32-colB"
+      (Staged.stage (fun () -> ignore (Simulate.run prog ~layouts:colB)));
+    Test.make ~name:"table3/reference:matmul32-row"
       (Staged.stage (fun () ->
-           ignore
-             (Simulate.run prog ~layouts:(function
-               | "B" -> Some (Mlo_layout.Layout.col_major 2)
-               | _ -> None))));
+           ignore (Simulate.run_reference prog ~layouts:(fun _ -> None))));
+    Test.make ~name:"table3/compile:matmul32"
+      (Staged.stage (fun () ->
+           ignore (Mlo_cachesim.Compiled_trace.compile prog ~layouts:colB)));
+    Test.make ~name:"table3/run_many:matmul32-x8-1dom"
+      (Staged.stage (fun () ->
+           ignore (Simulate.run_many ~domains:1 prog ~layouts_list:sweep)));
   ]
+  (* Multi-domain scaling is only meaningful with real cores behind the
+     domains; on a single-core box Domain.spawn is pure overhead, so the
+     kernel would record noise.  recommended_domain_count is the same
+     signal run_many's default uses. *)
+  @ (if Domain.recommended_domain_count () >= 4 then
+       [
+         Test.make ~name:"table3/run_many:matmul32-x8-4dom"
+           (Staged.stage (fun () ->
+                ignore (Simulate.run_many ~domains:4 prog ~layouts_list:sweep)));
+       ]
+     else [])
 
 let median samples =
   let a = Array.copy samples in
@@ -108,11 +134,16 @@ let median samples =
   else if n mod 2 = 1 then a.(n / 2)
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
-(* Runs every kernel and returns (name, median ns/run, OLS ns/run) rows,
-   in test order.  Medians come straight from the raw per-sample
-   measurements; OLS is bechamel's usual run-predictor fit. *)
-let benchmark ~quota () =
+(* Runs every kernel whose name starts with [filter] (default: all) and
+   returns (name, median ns/run, OLS ns/run) rows, in test order.
+   Medians come straight from the raw per-sample measurements; OLS is
+   bechamel's usual run-predictor fit. *)
+let benchmark ?(filter = "") ~quota () =
   let tests = table1_tests @ table2_tests @ fig4_tests @ table3_tests in
+  let tests =
+    if filter = "" then tests
+    else List.filter (fun t -> String.starts_with ~prefix:filter (Test.name t)) tests
+  in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) () in
   let ols =
@@ -182,12 +213,14 @@ let write_json file rows =
 
 let usage () =
   prerr_endline
-    "usage: bench [--tables | --json [FILE] | --smoke]\n\
-     \  (default)     print the paper's tables then run the micro-benchmarks\n\
-     \  --tables      print the paper's tables only\n\
-     \  --json [FILE] run the micro-benchmarks and dump per-kernel medians\n\
-     \                as JSON (default FILE: BENCH_solver.json)\n\
-     \  --smoke       short benchmark run, no tables (CI)";
+    "usage: bench [--tables | --json [FILE] | --smoke [FILTER]]\n\
+     \  (default)        print the paper's tables then run the micro-benchmarks\n\
+     \  --tables         print the paper's tables only\n\
+     \  --json [FILE]    run the micro-benchmarks and dump per-kernel medians\n\
+     \                   as JSON (default FILE: BENCH_solver.json)\n\
+     \  --smoke [FILTER] short benchmark run, no tables (CI); FILTER, if\n\
+     \                   given, runs only kernels whose name starts with it\n\
+     \                   (e.g. table3/)";
   exit 2
 
 let () =
@@ -207,4 +240,6 @@ let () =
     print_benchmark rows;
     write_json file rows
   | [ _; "--smoke" ] -> print_benchmark (benchmark ~quota:0.05 ())
+  | [ _; "--smoke"; filter ] ->
+    print_benchmark (benchmark ~filter ~quota:0.05 ())
   | _ -> usage ()

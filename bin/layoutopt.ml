@@ -122,11 +122,19 @@ let solve_cmd =
 (* simulate                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let reference_flag =
+  let doc =
+    "Use the interpretive reference engine instead of the compiled \
+     address-stream engine (slower; counters are identical)."
+  in
+  Arg.(value & flag & info [ "reference" ] ~doc)
+
 let simulate_cmd =
-  let run workload scheme seed max_checks =
+  let run workload scheme seed max_checks reference =
     let spec = Suite.by_name workload in
     let prog = spec.Spec.sim_program in
-    let original = Optimizer.simulate_original prog in
+    let engine = if reference then Simulate.run_reference else Simulate.run in
+    let original = engine prog ~layouts:(fun _ -> None) in
     Format.printf "original : %a@." Simulate.pp_report original;
     match
       Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
@@ -136,7 +144,9 @@ let simulate_cmd =
       Format.printf "no solution: %s@." msg;
       exit 1
     | sol ->
-      let report = Optimizer.simulate sol in
+      let report =
+        engine sol.Optimizer.restructured ~layouts:(Optimizer.lookup sol)
+      in
       Format.printf "optimized: %a@." Simulate.pp_report report;
       Format.printf "improvement: %.2f%%@."
         (Simulate.improvement_percent ~baseline:original report)
@@ -144,7 +154,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a workload before and after layout optimization")
-    Term.(const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg)
+    Term.(
+      const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
+      $ reference_flag)
 
 (* ------------------------------------------------------------------ *)
 (* optimize-file                                                        *)
@@ -222,13 +234,20 @@ let fig4_cmd =
     (Cmd.info "fig4" ~doc:"Regenerate Figure 4 (enhancement breakdown)")
     Term.(const run $ seed_arg $ max_checks_arg)
 
+let domains_arg =
+  let doc =
+    "Number of OCaml domains for the simulation sweep (default: up to 8, \
+     bounded by the machine); 1 forces a serial sweep."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let table3_cmd =
-  let run seed max_checks =
+  let run seed max_checks domains =
     Format.printf "%a@." Tables.print_table3
-      (Tables.run_table3 ~seed ~max_checks ())
+      (Tables.run_table3 ~seed ~max_checks ?domains ())
   in
   Cmd.v (Cmd.info "table3" ~doc:"Regenerate Table 3 (execution times)")
-    Term.(const run $ seed_arg $ max_checks_arg)
+    Term.(const run $ seed_arg $ max_checks_arg $ domains_arg)
 
 let ablation_cmd =
   let run seed max_checks =

@@ -38,7 +38,10 @@ let build ?(align = 64) prog ~layouts =
 let entry t name =
   match Hashtbl.find_opt t.entries name with
   | Some e -> e
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Address_map: unknown array %S (not in the program \
+                       this map was built from)" name)
 
 let address t name idx =
   let e = entry t name in

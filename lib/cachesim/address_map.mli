@@ -22,7 +22,8 @@ val build :
 
 val address : t -> string -> Mlo_linalg.Intvec.t -> int
 (** Byte address of an array element (by original index vector).
-    Raises [Not_found] for unknown arrays. *)
+    Raises [Invalid_argument] naming the array if it is not part of the
+    program this map was built from (an optimizer/simulator mismatch). *)
 
 val footprint_bytes : t -> int
 (** Total bytes spanned, including transform holes and alignment. *)

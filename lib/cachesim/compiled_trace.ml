@@ -1,0 +1,266 @@
+module Program = Mlo_ir.Program
+module Loop_nest = Mlo_ir.Loop_nest
+module Access = Mlo_ir.Access
+module Transform = Mlo_layout.Transform
+
+(* ------------------------------------------------------------------ *)
+(* Skeleton: the layout-independent part of a compiled trace            *)
+(* ------------------------------------------------------------------ *)
+
+type skel_access = {
+  sa_name : string;
+  sa_matrix : int array array; (* rank rows x depth cols *)
+  sa_offset : int array; (* rank *)
+}
+
+type skel_nest = {
+  sn_counts : int array; (* per-level trip count, outermost first *)
+  sn_lows : int array; (* per-level lower bound *)
+  sn_accesses : skel_access array;
+}
+
+type skeleton = {
+  sk_prog : Program.t;
+  sk_nests : skel_nest array;
+  sk_trips : int;
+}
+
+let skeleton prog =
+  let nests =
+    Array.map
+      (fun nest ->
+        let loops = Loop_nest.loops nest in
+        {
+          sn_counts = Array.map (fun l -> l.Loop_nest.hi - l.Loop_nest.lo) loops;
+          sn_lows = Array.map (fun l -> l.Loop_nest.lo) loops;
+          sn_accesses =
+            Array.map
+              (fun a ->
+                {
+                  sa_name = Access.array_name a;
+                  sa_matrix = Access.matrix a;
+                  sa_offset = Access.offset a;
+                })
+              (Loop_nest.accesses nest);
+        })
+      (Program.nests prog)
+  in
+  let trips =
+    Array.fold_left
+      (fun acc n -> acc + Array.fold_left ( * ) 1 n.sn_counts)
+      0 nests
+  in
+  { sk_prog = prog; sk_nests = nests; sk_trips = trips }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled trace: affine address streams                               *)
+(* ------------------------------------------------------------------ *)
+
+type compiled_nest = {
+  counts : int array; (* per-level trip count *)
+  addr0 : int array; (* per access, byte address at the nest's lower corner *)
+  deltas : int array array; (* deltas.(level).(access): byte increment *)
+}
+
+type t = { nests : compiled_nest array; footprint : int; trips : int }
+
+let instantiate skel ~layouts =
+  let amap = Address_map.build skel.sk_prog ~layouts in
+  let nests =
+    Array.map
+      (fun sn ->
+        let depth = Array.length sn.sn_counts in
+        let na = Array.length sn.sn_accesses in
+        let addr0 = Array.make na 0 in
+        let deltas = Array.make_matrix depth na 0 in
+        Array.iteri
+          (fun k sa ->
+            let base = Address_map.base amap sa.sa_name in
+            let elem = Address_map.elem_size amap sa.sa_name in
+            let lin, c0 = Transform.linear_map (Address_map.transform amap sa.sa_name) in
+            let rank = Array.length sa.sa_offset in
+            (* address(iter) = base + elem * (c0 + sum_j lin_j * (A_j . iter + off_j))
+               collapses to addr0 + sum_level delta_level * (iter_level - low_level) *)
+            let cell0 = ref c0 in
+            for j = 0 to rank - 1 do
+              let row = sa.sa_matrix.(j) in
+              let v = ref sa.sa_offset.(j) in
+              for l = 0 to depth - 1 do
+                v := !v + (row.(l) * sn.sn_lows.(l))
+              done;
+              cell0 := !cell0 + (lin.(j) * !v)
+            done;
+            addr0.(k) <- base + (elem * !cell0);
+            for l = 0 to depth - 1 do
+              let d = ref 0 in
+              for j = 0 to rank - 1 do
+                d := !d + (lin.(j) * sa.sa_matrix.(j).(l))
+              done;
+              deltas.(l).(k) <- elem * !d
+            done)
+          sn.sn_accesses;
+        { counts = sn.sn_counts; addr0; deltas })
+      skel.sk_nests
+  in
+  { nests; footprint = Address_map.footprint_bytes amap; trips = skel.sk_trips }
+
+let compile prog ~layouts = instantiate (skeleton prog) ~layouts
+
+let footprint_bytes t = t.footprint
+let trip_count t = t.trips
+
+(* ------------------------------------------------------------------ *)
+(* Flattened two-level hierarchy                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The probe/fill path of Cache+Hierarchy specialized into one record of
+   flat arrays and ints, so a simulated access is shifts, masks and array
+   reads with no cross-module calls and no allocation.  The replacement
+   and accounting logic mirrors Cache.access / Hierarchy.access exactly
+   (enforced by the equivalence properties in test/test_cachesim.ml). *)
+type level = {
+  tags : int array;
+  stamps : int array;
+  line_shift : int;
+  set_shift : int;
+  set_mask : int;
+  assoc : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type hier = {
+  l1 : level;
+  l2 : level;
+  cost_l1 : int; (* L1 hit, compute included *)
+  cost_l2 : int; (* L1 miss, L2 hit *)
+  cost_mem : int; (* miss in both *)
+  mutable cycles : int;
+}
+
+let log2 x =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 x
+
+let make_level (g : Cache.geometry) =
+  let num_sets = g.Cache.size_bytes / (g.Cache.assoc * g.Cache.line_bytes) in
+  {
+    tags = Array.make (num_sets * g.Cache.assoc) (-1);
+    stamps = Array.make (num_sets * g.Cache.assoc) 0;
+    line_shift = log2 g.Cache.line_bytes;
+    set_shift = log2 num_sets;
+    set_mask = num_sets - 1;
+    assoc = g.Cache.assoc;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let make_hier (config : Hierarchy.config) =
+  {
+    l1 = make_level config.Hierarchy.l1;
+    l2 = make_level config.Hierarchy.l2;
+    cost_l1 =
+      config.Hierarchy.l1_latency + config.Hierarchy.compute_cycles_per_access;
+    cost_l2 =
+      config.Hierarchy.l1_latency + config.Hierarchy.l2_latency
+      + config.Hierarchy.compute_cycles_per_access;
+    cost_mem =
+      config.Hierarchy.l1_latency + config.Hierarchy.l2_latency
+      + config.Hierarchy.memory_latency
+      + config.Hierarchy.compute_cycles_per_access;
+    cycles = 0;
+  }
+
+(* Same victim policy as Cache.access: first way with the strictly
+   smallest stamp (invalid ways keep stamp 0 and lose every comparison
+   against it, so they fill in way order). *)
+let[@inline] level_access lv addr =
+  let line = addr lsr lv.line_shift in
+  let base = (line land lv.set_mask) * lv.assoc in
+  let tag = line lsr lv.set_shift in
+  lv.clock <- lv.clock + 1;
+  let tags = lv.tags in
+  let slot = ref (-1) in
+  let w = ref 0 in
+  while !slot < 0 && !w < lv.assoc do
+    if Array.unsafe_get tags (base + !w) = tag then slot := base + !w;
+    incr w
+  done;
+  if !slot >= 0 then begin
+    Array.unsafe_set lv.stamps !slot lv.clock;
+    lv.hits <- lv.hits + 1;
+    true
+  end
+  else begin
+    lv.misses <- lv.misses + 1;
+    let stamps = lv.stamps in
+    let victim = ref base in
+    for w = 1 to lv.assoc - 1 do
+      if Array.unsafe_get stamps (base + w) < Array.unsafe_get stamps !victim
+      then victim := base + w
+    done;
+    Array.unsafe_set tags !victim tag;
+    Array.unsafe_set stamps !victim lv.clock;
+    false
+  end
+
+let[@inline] hier_access h addr =
+  let cost =
+    if level_access h.l1 addr then h.cost_l1
+    else if level_access h.l2 addr then h.cost_l2
+    else h.cost_mem
+  in
+  h.cycles <- h.cycles + cost
+
+let hier_counters h =
+  {
+    Hierarchy.accesses = h.l1.hits + h.l1.misses;
+    l1_hits = h.l1.hits;
+    l1_misses = h.l1.misses;
+    l2_hits = h.l2.hits;
+    l2_misses = h.l2.misses;
+    cycles = h.cycles;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The nest walk                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_nest h nest =
+  let depth = Array.length nest.counts in
+  let na = Array.length nest.addr0 in
+  let cur = Array.copy nest.addr0 in
+  let rec go level =
+    let c = nest.counts.(level) in
+    let dl = nest.deltas.(level) in
+    if level = depth - 1 then begin
+      for _ = 1 to c do
+        for k = 0 to na - 1 do
+          hier_access h (Array.unsafe_get cur k)
+        done;
+        for k = 0 to na - 1 do
+          Array.unsafe_set cur k
+            (Array.unsafe_get cur k + Array.unsafe_get dl k)
+        done
+      done
+    end
+    else
+      for _ = 1 to c do
+        go (level + 1);
+        for k = 0 to na - 1 do
+          cur.(k) <- cur.(k) + dl.(k)
+        done
+      done;
+    (* rewind this level so the caller's increments stay incremental *)
+    for k = 0 to na - 1 do
+      cur.(k) <- cur.(k) - (c * dl.(k))
+    done
+  in
+  go 0
+
+let simulate ?(config = Hierarchy.paper_config) t =
+  let h = make_hier config in
+  Array.iter (fun nest -> simulate_nest h nest) t.nests;
+  hier_counters h

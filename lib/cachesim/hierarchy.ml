@@ -21,11 +21,27 @@ type t = {
   config : config;
   l1 : Cache.t;
   l2 : Cache.t;
+  (* per-level total access cost, compute cycles included, hoisted out
+     of the per-access path *)
+  cost_l1 : int;
+  cost_l2 : int;
+  cost_mem : int;
   mutable cycles : int;
 }
 
 let create config =
-  { config; l1 = Cache.create config.l1; l2 = Cache.create config.l2; cycles = 0 }
+  {
+    config;
+    l1 = Cache.create config.l1;
+    l2 = Cache.create config.l2;
+    cost_l1 = config.l1_latency + config.compute_cycles_per_access;
+    cost_l2 =
+      config.l1_latency + config.l2_latency + config.compute_cycles_per_access;
+    cost_mem =
+      config.l1_latency + config.l2_latency + config.memory_latency
+      + config.compute_cycles_per_access;
+    cycles = 0;
+  }
 
 type counters = {
   accesses : int;
@@ -37,13 +53,11 @@ type counters = {
 }
 
 let access t addr =
-  let c = t.config in
   let cost =
-    if Cache.access t.l1 addr then c.l1_latency
-    else if Cache.access t.l2 addr then c.l1_latency + c.l2_latency
-    else c.l1_latency + c.l2_latency + c.memory_latency
+    if Cache.access t.l1 addr then t.cost_l1
+    else if Cache.access t.l2 addr then t.cost_l2
+    else t.cost_mem
   in
-  let cost = cost + c.compute_cycles_per_access in
   t.cycles <- t.cycles + cost;
   cost
 

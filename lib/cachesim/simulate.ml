@@ -8,7 +8,11 @@ type report = {
   trip_count : int;
 }
 
-let run ?(config = Hierarchy.paper_config) prog ~layouts =
+(* The interpretive engine, kept verbatim as the oracle the compiled
+   engine is tested against: per access it evaluates the affine index
+   expressions, looks the array up by name and applies the layout
+   transform's matrix arithmetic. *)
+let run_reference ?(config = Hierarchy.paper_config) prog ~layouts =
   let amap = Address_map.build prog ~layouts in
   let hier = Hierarchy.create config in
   let trips = ref 0 in
@@ -31,6 +35,83 @@ let run ?(config = Hierarchy.paper_config) prog ~layouts =
     footprint_bytes = Address_map.footprint_bytes amap;
     trip_count = !trips;
   }
+
+let report_of_compiled ?config ct =
+  {
+    counters = Compiled_trace.simulate ?config ct;
+    footprint_bytes = Compiled_trace.footprint_bytes ct;
+    trip_count = Compiled_trace.trip_count ct;
+  }
+
+let run ?config prog ~layouts =
+  report_of_compiled ?config (Compiled_trace.compile prog ~layouts)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel batch evaluation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Work-stealing-free parallel for: one atomic index, [domains - 1]
+   spawned domains plus the caller.  [f] must only touch index-private
+   state (each simulation owns its hierarchy and compiled trace). *)
+let parallel_iter ~domains n f =
+  let domains = max 1 (min domains n) in
+  if domains = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          f i;
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned
+  end
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let collect ?config ~domains jobs =
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  parallel_iter ~domains n (fun i ->
+      results.(i) <- Some (report_of_compiled ?config (jobs.(i) ())));
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false)
+       results)
+
+let run_many ?config ?domains prog ~layouts_list =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let skel = Compiled_trace.skeleton prog in
+  let jobs =
+    Array.of_list
+      (List.map
+         (fun layouts () -> Compiled_trace.instantiate skel ~layouts)
+         layouts_list)
+  in
+  collect ?config ~domains jobs
+
+let run_batch ?config ?domains progs =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let jobs =
+    Array.of_list
+      (List.map
+         (fun (prog, layouts) () -> Compiled_trace.compile prog ~layouts)
+         progs)
+  in
+  collect ?config ~domains jobs
 
 let cycles r = r.counters.Hierarchy.cycles
 

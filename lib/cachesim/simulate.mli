@@ -4,7 +4,13 @@
     array reference per iteration to the cache hierarchy, at the address
     the layout assignment dictates.  This is the substitute for the
     paper's SimpleScalar runs: it reproduces the memory behaviour that
-    Table 3's execution times measure. *)
+    Table 3's execution times measure.
+
+    Two engines produce identical counters: {!run} drives the compiled
+    address streams of {!Compiled_trace} (allocation-free inner loop),
+    {!run_reference} keeps the interpretive per-access evaluation as the
+    oracle.  {!run_many} amortizes trace compilation across layout
+    assignments and fans the simulations out over OCaml 5 domains. *)
 
 type report = {
   counters : Hierarchy.counters;
@@ -20,6 +26,38 @@ val run :
 (** Simulates the program as written (no loop restructuring is applied
     here; restructure first with {!Mlo_netgen.Select} if desired) on a
     cold hierarchy.  [config] defaults to {!Hierarchy.paper_config}. *)
+
+val run_reference :
+  ?config:Hierarchy.config ->
+  Mlo_ir.Program.t ->
+  layouts:(string -> Mlo_layout.Layout.t option) ->
+  report
+(** The pre-compilation engine: same semantics and counters as {!run},
+    evaluated interpretively (affine eval + name lookup + transform
+    arithmetic per access).  Kept as the equivalence oracle. *)
+
+val run_many :
+  ?config:Hierarchy.config ->
+  ?domains:int ->
+  Mlo_ir.Program.t ->
+  layouts_list:(string -> Mlo_layout.Layout.t option) list ->
+  report list
+(** Evaluate one program under each of N layout assignments, reusing the
+    compiled iteration skeleton across assignments and running the
+    independent simulations on [domains] OCaml domains (default:
+    [min 8 (Domain.recommended_domain_count ())], capped at N; pass
+    [~domains:1] to force a serial sweep).  The layout functions must be
+    pure — they are called from worker domains.  Reports come back in
+    input order. *)
+
+val run_batch :
+  ?config:Hierarchy.config ->
+  ?domains:int ->
+  (Mlo_ir.Program.t * (string -> Mlo_layout.Layout.t option)) list ->
+  report list
+(** Like {!run_many} for jobs that differ in program as well as layouts
+    (e.g. Table 3's per-version restructured programs): each job is
+    compiled and simulated on the domain pool, reports in input order. *)
 
 val cycles : report -> int
 

@@ -74,3 +74,16 @@ let simulate ?config sol =
 
 let simulate_original ?config prog =
   Simulate.run ?config prog ~layouts:(fun _ -> None)
+
+let simulate_many ?config ?domains sols =
+  Simulate.run_batch ?config ?domains
+    (List.map (fun sol -> (sol.restructured, lookup sol)) sols)
+
+let simulate_versions ?config ?domains prog sols =
+  match
+    Simulate.run_batch ?config ?domains
+      ((prog, fun _ -> None)
+      :: List.map (fun sol -> (sol.restructured, lookup sol)) sols)
+  with
+  | original :: optimized -> (original, optimized)
+  | [] -> assert false

@@ -55,3 +55,22 @@ val simulate_original :
   Mlo_ir.Program.t ->
   Mlo_cachesim.Simulate.report
 (** The unoptimized baseline: original loop orders, row-major layouts. *)
+
+val simulate_many :
+  ?config:Mlo_cachesim.Hierarchy.config ->
+  ?domains:int ->
+  solution list ->
+  Mlo_cachesim.Simulate.report list
+(** Simulate several solutions (possibly of different programs) on the
+    domain pool of {!Mlo_cachesim.Simulate.run_batch}; reports in input
+    order. *)
+
+val simulate_versions :
+  ?config:Mlo_cachesim.Hierarchy.config ->
+  ?domains:int ->
+  Mlo_ir.Program.t ->
+  solution list ->
+  Mlo_cachesim.Simulate.report * Mlo_cachesim.Simulate.report list
+(** [simulate_versions prog sols] runs the original program and every
+    optimized version as one parallel batch — the Table-3 sweep.  Returns
+    the original's report and the per-solution reports in input order. *)

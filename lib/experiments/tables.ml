@@ -183,12 +183,11 @@ let optimize_with_retries scheme_of_seed ~candidates ~max_checks ~seed prog =
   in
   go 0
 
-let run_table3 ?(seed = 1) ?(max_checks = default_max_checks) () =
+let run_table3 ?(seed = 1) ?(max_checks = default_max_checks) ?domains () =
   List.map
     (fun spec ->
       let prog = spec.Spec.sim_program in
       let candidates = spec.Spec.candidates in
-      let original = Optimizer.simulate_original prog in
       let heuristic_sol = Optimizer.optimize Optimizer.Heuristic prog in
       let base_sol =
         optimize_with_retries
@@ -200,14 +199,22 @@ let run_table3 ?(seed = 1) ?(max_checks = default_max_checks) () =
           (fun s -> Optimizer.Enhanced s)
           ~candidates ~max_checks ~seed prog
       in
-      {
-        t3_name = spec.Spec.name;
-        original_cycles = Simulate.cycles original;
-        heuristic_cycles = Simulate.cycles (Optimizer.simulate heuristic_sol);
-        base_cycles = Simulate.cycles (Optimizer.simulate base_sol);
-        enhanced_cycles = Simulate.cycles (Optimizer.simulate enhanced_sol);
-        paper = spec.Spec.paper_exec;
-      })
+      (* the 4-version sweep simulates as one parallel batch *)
+      let original, optimized =
+        Optimizer.simulate_versions ?domains prog
+          [ heuristic_sol; base_sol; enhanced_sol ]
+      in
+      match optimized with
+      | [ heuristic; base; enhanced ] ->
+        {
+          t3_name = spec.Spec.name;
+          original_cycles = Simulate.cycles original;
+          heuristic_cycles = Simulate.cycles heuristic;
+          base_cycles = Simulate.cycles base;
+          enhanced_cycles = Simulate.cycles enhanced;
+          paper = spec.Spec.paper_exec;
+        }
+      | _ -> assert false)
     (Suite.all ())
 
 (* ------------------------------------------------------------------ *)

@@ -7,6 +7,8 @@ type t = {
   mins : int array; (* per transformed dimension, inclusive lower corner *)
   spans : int array; (* per transformed dimension, extent of bounding box *)
   strides : int array; (* row-major strides inside the box *)
+  lin : int array; (* per original dimension, coefficient of cell_index *)
+  lin_const : int; (* constant term of cell_index *)
   original_cells : int;
 }
 
@@ -48,22 +50,39 @@ let make layout ~extents =
   for i = k - 2 downto 0 do
     strides.(i) <- strides.(i + 1) * spans.(i + 1)
   done;
+  (* cell_index is itself affine in the original index vector:
+     sum_i strides_i * ((T d)_i - mins_i)
+       = sum_j (sum_i strides_i * T_ij) d_j - sum_i strides_i * mins_i *)
+  let lin =
+    Array.init k (fun j ->
+        let s = ref 0 in
+        for i = 0 to k - 1 do
+          s := !s + (strides.(i) * matrix.(i).(j))
+        done;
+        !s)
+  in
+  let lin_const = ref 0 in
+  for i = 0 to k - 1 do
+    lin_const := !lin_const - (strides.(i) * mins.(i))
+  done;
   {
     matrix;
     mins;
     spans;
     strides;
+    lin;
+    lin_const = !lin_const;
     original_cells = Array.fold_left ( * ) 1 extents;
   }
 
 let matrix t = Intmat.copy t.matrix
 let map_point t d = Intmat.mul_vec t.matrix d
+let linear_map t = (Array.copy t.lin, t.lin_const)
 
 let cell_index t d =
-  let p = map_point t d in
-  let idx = ref 0 in
-  for i = 0 to Array.length p - 1 do
-    idx := !idx + ((p.(i) - t.mins.(i)) * t.strides.(i))
+  let idx = ref t.lin_const in
+  for j = 0 to Array.length d - 1 do
+    idx := !idx + (t.lin.(j) * d.(j))
   done;
   !idx
 

@@ -25,6 +25,13 @@ val matrix : t -> Mlo_linalg.Intmat.t
 val map_point : t -> Mlo_linalg.Intvec.t -> Mlo_linalg.Intvec.t
 (** Transformed coordinates [T d] of an element. *)
 
+val linear_map : t -> int array * int
+(** [linear_map t] is [(lin, c)] such that [cell_index t d = c + sum_j
+    lin.(j) * d.(j)] for every index vector [d]: the transform's whole
+    index-to-cell map collapsed into one affine form.  This is what lets
+    a trace compiler fold layout, bounding box and linearization into
+    per-loop address strides ({!Mlo_cachesim.Compiled_trace}). *)
+
 val cell_index : t -> Mlo_linalg.Intvec.t -> int
 (** Linear cell offset of element [d] in the transformed storage: the
     row-major position of [T d] within the transformed bounding box.

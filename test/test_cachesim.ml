@@ -4,11 +4,15 @@
 module Cache = Mlo_cachesim.Cache
 module Hierarchy = Mlo_cachesim.Hierarchy
 module Address_map = Mlo_cachesim.Address_map
+module Compiled_trace = Mlo_cachesim.Compiled_trace
 module Simulate = Mlo_cachesim.Simulate
 module B = Mlo_ir.Builder
 module Program = Mlo_ir.Program
 module Array_info = Mlo_ir.Array_info
 module Layout = Mlo_layout.Layout
+module Hyperplane = Mlo_layout.Hyperplane
+module Random_program = Mlo_workloads.Random_program
+module Rng = Mlo_csp.Rng
 
 (* ------------------------------------------------------------------ *)
 (* Cache geometry                                                       *)
@@ -225,6 +229,169 @@ let test_improvement_metrics () =
     (Simulate.improvement_percent ~baseline better)
 
 (* ------------------------------------------------------------------ *)
+(* Compiled engine ≡ reference engine                                   *)
+(* ------------------------------------------------------------------ *)
+
+let counters_tuple (c : Hierarchy.counters) =
+  ( c.Hierarchy.accesses,
+    c.Hierarchy.l1_hits,
+    c.Hierarchy.l1_misses,
+    c.Hierarchy.l2_hits,
+    c.Hierarchy.l2_misses,
+    c.Hierarchy.cycles )
+
+let report_ints (r : Simulate.report) =
+  let a, b, c, d, e, f = counters_tuple r.Simulate.counters in
+  [ a; b; c; d; e; f; r.Simulate.footprint_bytes; r.Simulate.trip_count ]
+
+let check_reports_equal what a b =
+  Alcotest.(check (list int))
+    (what ^ ": counters/footprint/trips")
+    (report_ints a) (report_ints b)
+
+let matmul32_program () =
+  let mm, req =
+    Mlo_workloads.Kernels.matmul ~name:"mm" ~n:32 ~c:"C" ~a:"A" ~b:"B"
+  in
+  Program.make ~name:"bench-mm" (Mlo_workloads.Kernels.declare req) [ mm ]
+
+let colB_layouts = function
+  | "B" -> Some (Layout.col_major 2)
+  | _ -> None
+
+let test_engines_agree_matmul () =
+  let prog = matmul32_program () in
+  List.iter
+    (fun (what, layouts) ->
+      check_reports_equal what
+        (Simulate.run_reference prog ~layouts)
+        (Simulate.run prog ~layouts))
+    [ ("row", fun _ -> None); ("colB", colB_layouts) ]
+
+(* Pin the Table-3 matmul32 cycle counts exactly: any slip in the
+   compiled address math (or in cache/hierarchy accounting) moves these
+   numbers.  Values confirmed identical under both engines. *)
+let pinned_matmul32_row_cycles = 292426
+let pinned_matmul32_colB_cycles = 279040
+
+let test_pinned_table3_cycles () =
+  let prog = matmul32_program () in
+  let row = Simulate.run prog ~layouts:(fun _ -> None) in
+  let col = Simulate.run prog ~layouts:colB_layouts in
+  Alcotest.(check int) "matmul32 row cycles" pinned_matmul32_row_cycles
+    (Simulate.cycles row);
+  Alcotest.(check int) "matmul32 colB cycles" pinned_matmul32_colB_cycles
+    (Simulate.cycles col)
+
+let test_engines_agree_suite () =
+  List.iter
+    (fun spec ->
+      let prog = spec.Mlo_workloads.Spec.sim_program in
+      check_reports_equal spec.Mlo_workloads.Spec.name
+        (Simulate.run_reference prog ~layouts:(fun _ -> None))
+        (Simulate.run prog ~layouts:(fun _ -> None)))
+    (Mlo_workloads.Suite.all ())
+
+(* Random-program equivalence: random affine programs (skewed accesses,
+   temporal references, negative-stride lifts) under random per-array
+   layout assignments from the 2-D palette. *)
+let random_layout_assignment seed names =
+  let rng = Rng.create seed in
+  let palette =
+    [|
+      [| 1; 0 |]; [| 0; 1 |]; [| 1; -1 |]; [| 1; 1 |]; [| 1; 2 |];
+      [| 2; 1 |]; [| 1; -2 |]; [| 2; -1 |];
+    |]
+  in
+  let chosen =
+    List.map
+      (fun name ->
+        if Rng.int rng 4 = 0 then (name, None)
+        else
+          let v = palette.(Rng.int rng (Array.length palette)) in
+          (name, Some (Layout.of_hyperplane (Hyperplane.make v))))
+      names
+  in
+  fun name -> List.assoc name chosen
+
+let prop_compiled_equals_reference =
+  QCheck.Test.make ~name:"compiled engine = reference engine" ~count:25
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let prog =
+        Random_program.generate
+          {
+            Random_program.default with
+            name = Printf.sprintf "rand%d" seed;
+            seed;
+            num_arrays = 5;
+            num_nests = 6;
+            extent = 16;
+          }
+      in
+      let layouts =
+        random_layout_assignment (seed + 1) (Program.array_names prog)
+      in
+      let r = Simulate.run_reference prog ~layouts in
+      let c = Simulate.run prog ~layouts in
+      counters_tuple r.Simulate.counters = counters_tuple c.Simulate.counters
+      && r.Simulate.footprint_bytes = c.Simulate.footprint_bytes
+      && r.Simulate.trip_count = c.Simulate.trip_count)
+
+let prop_run_many_matches_run =
+  QCheck.Test.make ~name:"run_many = map run (4 domains)" ~count:10
+    (QCheck.int_range 0 1_000) (fun seed ->
+      let prog =
+        Random_program.generate
+          {
+            Random_program.default with
+            name = Printf.sprintf "many%d" seed;
+            seed;
+            num_arrays = 4;
+            num_nests = 4;
+            extent = 16;
+          }
+      in
+      let names = Program.array_names prog in
+      let layouts_list =
+        List.init 6 (fun i -> random_layout_assignment (seed + i) names)
+      in
+      let batch = Simulate.run_many ~domains:4 prog ~layouts_list in
+      let solo = List.map (fun layouts -> Simulate.run prog ~layouts) layouts_list in
+      List.for_all2
+        (fun (a : Simulate.report) (b : Simulate.report) ->
+          counters_tuple a.Simulate.counters = counters_tuple b.Simulate.counters
+          && a.Simulate.footprint_bytes = b.Simulate.footprint_bytes
+          && a.Simulate.trip_count = b.Simulate.trip_count)
+        batch solo)
+
+let test_run_batch_mixed_programs () =
+  let p1 = matmul32_program () in
+  let p2 = column_walk_program ~n:32 in
+  let jobs =
+    [ (p1, (fun _ -> None)); (p2, (fun _ -> None)); (p1, colB_layouts) ]
+  in
+  let batch = Simulate.run_batch ~domains:2 jobs in
+  let solo = List.map (fun (p, layouts) -> Simulate.run p ~layouts) jobs in
+  List.iter2 (check_reports_equal "run_batch") solo batch
+
+let test_address_map_unknown_array () =
+  let prog = two_array_program ~n:4 in
+  let amap = Address_map.build prog ~layouts:(fun _ -> None) in
+  match Address_map.address amap "Z" [| 0; 0 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    (* diagnosable: the message must name the offending array *)
+    let mentions_z =
+      let re = {|"Z"|} in
+      let rec find i =
+        i + String.length re <= String.length msg
+        && (String.sub msg i (String.length re) = re || find (i + 1))
+      in
+      find 0
+    in
+    Alcotest.(check bool) "names the array" true mentions_z
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -261,6 +428,10 @@ let props =
       prop_working_set_within_capacity_no_capacity_misses;
     ]
 
+let equivalence_props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_compiled_equals_reference; prop_run_many_matches_run ]
+
 let () =
   Alcotest.run "cachesim"
     [
@@ -284,7 +455,21 @@ let () =
           Alcotest.test_case "alignment" `Quick test_address_map_alignment;
           Alcotest.test_case "row contiguity" `Quick test_address_map_row_contiguity;
           Alcotest.test_case "column layout" `Quick test_address_map_col_layout;
+          Alcotest.test_case "unknown array diagnosable" `Quick
+            test_address_map_unknown_array;
         ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "engines agree on matmul32" `Quick
+            test_engines_agree_matmul;
+          Alcotest.test_case "pinned Table-3 cycles" `Quick
+            test_pinned_table3_cycles;
+          Alcotest.test_case "engines agree on the suite" `Quick
+            test_engines_agree_suite;
+          Alcotest.test_case "run_batch mixed programs" `Quick
+            test_run_batch_mixed_programs;
+        ]
+        @ equivalence_props );
       ( "simulate",
         [
           Alcotest.test_case "layout changes misses" `Quick test_layout_changes_misses;
