@@ -126,17 +126,42 @@ let table3_tests =
        ]
      else [])
 
-let median samples =
+(* Per-kernel robust statistics over the raw per-sample ns/run values.
+   Percentiles use linear interpolation between order statistics; MAD is
+   the median absolute deviation from the median (unscaled), a spread
+   estimate that one cache-cold outlier can't distort the way a standard
+   deviation can. *)
+type stats = { p50 : float; p90 : float; p99 : float; mad : float; samples : int }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let stats_of samples =
   let a = Array.copy samples in
   Array.sort compare a;
-  let n = Array.length a in
-  if n = 0 then nan
-  else if n mod 2 = 1 then a.(n / 2)
-  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+  let p50 = percentile a 0.5 in
+  let dev = Array.map (fun x -> Float.abs (x -. p50)) a in
+  Array.sort compare dev;
+  {
+    p50;
+    p90 = percentile a 0.9;
+    p99 = percentile a 0.99;
+    mad = percentile dev 0.5;
+    samples = Array.length a;
+  }
 
 (* Runs every kernel whose name starts with [filter] (default: all) and
-   returns (name, median ns/run, OLS ns/run) rows, in test order.
-   Medians come straight from the raw per-sample measurements; OLS is
+   returns (name, stats, OLS ns/run) rows, in test order.  The stats
+   come straight from the raw per-sample measurements; OLS is
    bechamel's usual run-predictor fit. *)
 let benchmark ?(filter = "") ~quota () =
   let tests = table1_tests @ table2_tests @ fig4_tests @ table3_tests in
@@ -156,8 +181,8 @@ let benchmark ?(filter = "") ~quota () =
       let results = Analyze.all ols Instance.monotonic_clock raw in
       Hashtbl.fold
         (fun name (b : Benchmark.t) acc ->
-          let med =
-            median
+          let st =
+            stats_of
               (Array.map
                  (fun m ->
                    Measurement_raw.get ~label m /. Measurement_raw.run m)
@@ -171,19 +196,23 @@ let benchmark ?(filter = "") ~quota () =
               | Some _ | None -> None)
             | None -> None
           in
-          (name, med, est) :: acc)
+          (name, st, est) :: acc)
         raw []
       |> List.sort compare)
     tests
 
 let print_benchmark rows =
-  Format.printf "Bechamel micro-benchmarks (monotonic clock):@.";
+  Format.printf "Bechamel micro-benchmarks (monotonic clock, ns/run):@.";
+  Format.printf "  %-34s %12s %12s %12s %9s %6s %12s@." "kernel" "p50" "p90"
+    "p99" "mad" "n" "ols";
   List.iter
-    (fun (name, med, est) ->
-      match est with
-      | Some e ->
-        Format.printf "  %-34s %14.1f ns/run (median %14.1f)@." name e med
-      | None -> Format.printf "  %-34s median %14.1f ns/run@." name med)
+    (fun (name, st, est) ->
+      Format.printf "  %-34s %12.1f %12.1f %12.1f %9.1f %6d" name st.p50
+        st.p90 st.p99 st.mad st.samples;
+      (match est with
+      | Some e -> Format.printf " %12.1f" e
+      | None -> Format.printf " %12s" "-");
+      Format.printf "@.")
     rows;
   Format.printf "@."
 
@@ -199,17 +228,28 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Schema "memlayout-bench/2": per-kernel percentile objects.  /1 was a
+   flat name->median map; any consumer keying on "kernels".<name> being a
+   number must switch on the "schema" field. *)
 let write_json file rows =
   let oc = open_out file in
-  output_string oc "{\n  \"clock\": \"monotonic\",\n  \"unit\": \"ns/run\",\n  \"kernels\": {\n";
+  output_string oc
+    "{\n\
+    \  \"schema\": \"memlayout-bench/2\",\n\
+    \  \"clock\": \"monotonic\",\n\
+    \  \"unit\": \"ns/run\",\n\
+    \  \"kernels\": {\n";
   List.iteri
-    (fun i (name, med, _) ->
-      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) med
+    (fun i (name, st, _) ->
+      Printf.fprintf oc
+        "    \"%s\": { \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"mad\": \
+         %.1f, \"samples\": %d }%s\n"
+        (json_escape name) st.p50 st.p90 st.p99 st.mad st.samples
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  }\n}\n";
   close_out oc;
-  Format.printf "wrote %d kernel medians to %s@." (List.length rows) file
+  Format.printf "wrote %d kernel stats to %s@." (List.length rows) file
 
 let usage () =
   prerr_endline

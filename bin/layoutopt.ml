@@ -15,6 +15,8 @@ module Optimizer = Mlo_core.Optimizer
 module Simulate = Mlo_cachesim.Simulate
 module Tables = Mlo_experiments.Tables
 module Parser = Mlo_lang.Parser
+module Trace = Mlo_obs.Trace
+module Trace_summary = Mlo_obs.Trace_summary
 
 open Cmdliner
 
@@ -34,16 +36,14 @@ let workload_arg =
     & opt (some (enum (List.map (fun n -> (n, n)) workload_names))) None
     & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
+let scheme_names = [ "heuristic"; "base"; "enhanced"; "enhanced-ac" ]
+
 let scheme_arg =
-  let doc = "Optimization scheme: heuristic, base, enhanced or enhanced-ac." in
-  Arg.(
-    value
-    & opt
-        (enum
-           [ ("heuristic", `Heuristic); ("base", `Base);
-             ("enhanced", `Enhanced); ("enhanced-ac", `Enhanced_ac) ])
-        `Enhanced
-    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+  let doc =
+    Printf.sprintf "Optimization scheme; one of %s."
+      (String.concat ", " scheme_names)
+  in
+  Arg.(value & opt string "enhanced" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
 let seed_arg =
   let doc = "Seed for the schemes' random decisions." in
@@ -57,11 +57,38 @@ let explain_flag =
   let doc = "Print the per-nest, per-reference locality report." in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
-let scheme_of ~seed = function
-  | `Heuristic -> Optimizer.Heuristic
-  | `Base -> Optimizer.Base seed
-  | `Enhanced -> Optimizer.Enhanced seed
-  | `Enhanced_ac -> Optimizer.Enhanced_ac seed
+(* An unknown scheme must die with a single-line error naming the
+   alternatives — not an exception trace or a usage dump. *)
+let scheme_of ~seed name =
+  match String.lowercase_ascii name with
+  | "heuristic" -> Optimizer.Heuristic
+  | "base" -> Optimizer.Base seed
+  | "enhanced" -> Optimizer.Enhanced seed
+  | "enhanced-ac" -> Optimizer.Enhanced_ac seed
+  | other ->
+    Printf.eprintf "layoutopt: unknown scheme '%s' (valid schemes: %s)\n"
+      other
+      (String.concat ", " scheme_names);
+    exit 2
+
+let trace_arg =
+  let doc =
+    "Record this run as Chrome trace_event JSON into $(docv) (load in \
+     chrome://tracing or ui.perfetto.dev; roll up with 'layoutopt \
+     trace-summary $(docv)')."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+    Trace.start ();
+    let r = f () in
+    Trace.write path;
+    Trace.stop ();
+    Format.eprintf "trace written to %s@." path;
+    r
 
 (* ------------------------------------------------------------------ *)
 (* show                                                                 *)
@@ -86,11 +113,13 @@ let show_cmd =
 (* ------------------------------------------------------------------ *)
 
 let solve_cmd =
-  let run workload scheme seed max_checks explain =
+  let run workload scheme seed max_checks explain trace =
     let spec = Suite.by_name workload in
+    let scheme = scheme_of ~seed scheme in
     match
-      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
-        (scheme_of ~seed scheme) spec.Spec.program
+      with_trace trace @@ fun () ->
+      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks scheme
+        spec.Spec.program
     with
     | exception Optimizer.No_solution msg ->
       Format.printf "no solution: %s@." msg;
@@ -116,7 +145,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Choose memory layouts for a workload")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ explain_flag)
+      $ explain_flag $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -130,15 +159,17 @@ let reference_flag =
   Arg.(value & flag & info [ "reference" ] ~doc)
 
 let simulate_cmd =
-  let run workload scheme seed max_checks reference =
+  let run workload scheme seed max_checks reference trace =
     let spec = Suite.by_name workload in
+    let scheme = scheme_of ~seed scheme in
     let prog = spec.Spec.sim_program in
     let engine = if reference then Simulate.run_reference else Simulate.run in
+    with_trace trace @@ fun () ->
     let original = engine prog ~layouts:(fun _ -> None) in
     Format.printf "original : %a@." Simulate.pp_report original;
     match
-      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
-        (scheme_of ~seed scheme) prog
+      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks scheme
+        prog
     with
     | exception Optimizer.No_solution msg ->
       Format.printf "no solution: %s@." msg;
@@ -156,7 +187,7 @@ let simulate_cmd =
        ~doc:"Simulate a workload before and after layout optimization")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ reference_flag)
+      $ reference_flag $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* optimize-file                                                        *)
@@ -219,12 +250,12 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run seed max_checks =
+  let run seed max_checks trace =
     Format.printf "%a@." Tables.print_table2
-      (Tables.run_table2 ~seed ~max_checks ())
+      (with_trace trace @@ fun () -> Tables.run_table2 ~seed ~max_checks ())
   in
   Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 (solution times)")
-    Term.(const run $ seed_arg $ max_checks_arg)
+    Term.(const run $ seed_arg $ max_checks_arg $ trace_arg)
 
 let fig4_cmd =
   let run seed max_checks =
@@ -242,12 +273,13 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
 let table3_cmd =
-  let run seed max_checks domains =
+  let run seed max_checks domains trace =
     Format.printf "%a@." Tables.print_table3
-      (Tables.run_table3 ~seed ~max_checks ?domains ())
+      (with_trace trace @@ fun () ->
+       Tables.run_table3 ~seed ~max_checks ?domains ())
   in
   Cmd.v (Cmd.info "table3" ~doc:"Regenerate Table 3 (execution times)")
-    Term.(const run $ seed_arg $ max_checks_arg $ domains_arg)
+    Term.(const run $ seed_arg $ max_checks_arg $ domains_arg $ trace_arg)
 
 let ablation_cmd =
   let run seed max_checks =
@@ -258,6 +290,27 @@ let ablation_cmd =
     (Cmd.info "ablation"
        ~doc:"Compare solver design choices (backjumping flavours, forward              checking, AC-3 preprocessing)")
     Term.(const run $ seed_arg $ max_checks_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace-summary                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_file_arg =
+  let doc = "Trace file produced by --trace." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let trace_summary_cmd =
+  let run file =
+    match Trace_summary.load file with
+    | Error msg ->
+      Format.eprintf "layoutopt: %s: %s@." file msg;
+      exit 1
+    | Ok summary -> Format.printf "%a@." Trace_summary.pp summary
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Summarize a --trace file (per-span totals, events, counters)")
+    Term.(const run $ trace_file_arg)
 
 let all_cmd =
   let run seed max_checks =
@@ -278,6 +331,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "layoutopt" ~version:"1.0.0" ~doc)
     [ show_cmd; solve_cmd; simulate_cmd; optimize_file_cmd; table1_cmd;
-      table2_cmd; fig4_cmd; table3_cmd; ablation_cmd; all_cmd ]
+      table2_cmd; fig4_cmd; table3_cmd; ablation_cmd; all_cmd;
+      trace_summary_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

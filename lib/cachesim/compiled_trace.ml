@@ -2,6 +2,7 @@ module Program = Mlo_ir.Program
 module Loop_nest = Mlo_ir.Loop_nest
 module Access = Mlo_ir.Access
 module Transform = Mlo_layout.Transform
+module Trace = Mlo_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Skeleton: the layout-independent part of a compiled trace            *)
@@ -65,6 +66,7 @@ type compiled_nest = {
 type t = { nests : compiled_nest array; footprint : int; trips : int }
 
 let instantiate skel ~layouts =
+  Trace.with_span ~cat:"cachesim" "compile-trace" @@ fun () ->
   let amap = Address_map.build skel.sk_prog ~layouts in
   let nests =
     Array.map
@@ -260,7 +262,79 @@ let simulate_nest h nest =
   in
   go 0
 
+(* Traced variant of [simulate_nest]: the identical walk, plus a
+   per-access countdown that fires [emit] every [sample_every] accesses.
+   Kept as a separate copy so the untraced inner loop carries no hook
+   branch; counter parity with [simulate_nest] is qcheck-enforced in
+   test/test_trace.ml. *)
+let simulate_nest_traced h nest ~countdown ~sample_every ~emit =
+  let depth = Array.length nest.counts in
+  let na = Array.length nest.addr0 in
+  let cur = Array.copy nest.addr0 in
+  let tick () =
+    decr countdown;
+    if !countdown <= 0 then begin
+      countdown := sample_every;
+      emit ()
+    end
+  in
+  let rec go level =
+    let c = nest.counts.(level) in
+    let dl = nest.deltas.(level) in
+    if level = depth - 1 then begin
+      for _ = 1 to c do
+        for k = 0 to na - 1 do
+          hier_access h (Array.unsafe_get cur k);
+          tick ()
+        done;
+        for k = 0 to na - 1 do
+          Array.unsafe_set cur k
+            (Array.unsafe_get cur k + Array.unsafe_get dl k)
+        done
+      done
+    end
+    else
+      for _ = 1 to c do
+        go (level + 1);
+        for k = 0 to na - 1 do
+          cur.(k) <- cur.(k) + dl.(k)
+        done
+      done;
+    for k = 0 to na - 1 do
+      cur.(k) <- cur.(k) - (c * dl.(k))
+    done
+  in
+  go 0
+
+(* Counter sampling period when tracing is enabled (accesses between
+   "cache" counter events); the final totals are always emitted. *)
+let trace_sample_every = 8192
+
 let simulate ?(config = Hierarchy.paper_config) t =
   let h = make_hier config in
-  Array.iter (fun nest -> simulate_nest h nest) t.nests;
-  hier_counters h
+  if not (Trace.enabled ()) then begin
+    Array.iter (fun nest -> simulate_nest h nest) t.nests;
+    hier_counters h
+  end
+  else
+    Trace.with_span ~cat:"cachesim" "simulate"
+      ~args:[ ("trips", Trace.Int t.trips) ]
+      (fun () ->
+        let emit () =
+          Trace.counter ~cat:"cachesim" "cache"
+            [
+              ("l1_hits", float_of_int h.l1.hits);
+              ("l1_misses", float_of_int h.l1.misses);
+              ("l2_hits", float_of_int h.l2.hits);
+              ("l2_misses", float_of_int h.l2.misses);
+              ("cycles", float_of_int h.cycles);
+            ]
+        in
+        let countdown = ref trace_sample_every in
+        Array.iter
+          (fun nest ->
+            simulate_nest_traced h nest ~countdown
+              ~sample_every:trace_sample_every ~emit)
+          t.nests;
+        emit ();
+        hier_counters h)

@@ -1,6 +1,7 @@
 module Program = Mlo_ir.Program
 module Loop_nest = Mlo_ir.Loop_nest
 module Access = Mlo_ir.Access
+module Trace = Mlo_obs.Trace
 
 type report = {
   counters : Hierarchy.counters;
@@ -13,6 +14,7 @@ type report = {
    expressions, looks the array up by name and applies the layout
    transform's matrix arithmetic. *)
 let run_reference ?(config = Hierarchy.paper_config) prog ~layouts =
+  Trace.with_span ~cat:"cachesim" "simulate-reference" @@ fun () ->
   let amap = Address_map.build prog ~layouts in
   let hier = Hierarchy.create config in
   let trips = ref 0 in
@@ -80,6 +82,9 @@ let default_domains () = min 8 (Domain.recommended_domain_count ())
 
 let collect ?config ~domains jobs =
   let n = Array.length jobs in
+  Trace.with_span ~cat:"cachesim" "sweep"
+    ~args:[ ("jobs", Trace.Int n); ("domains", Trace.Int domains) ]
+  @@ fun () ->
   let results = Array.make n None in
   parallel_iter ~domains n (fun i ->
       results.(i) <- Some (report_of_compiled ?config (jobs.(i) ())));

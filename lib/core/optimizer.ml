@@ -8,6 +8,7 @@ module Select = Mlo_netgen.Select
 module Propagation = Mlo_heuristic.Propagation
 module Simulate = Mlo_cachesim.Simulate
 module Hierarchy = Mlo_cachesim.Hierarchy
+module Trace = Mlo_obs.Trace
 
 type scheme =
   | Heuristic
@@ -33,13 +34,33 @@ let config_of_scheme ?max_checks = function
   | Enhanced_ac seed -> Some (Schemes.enhanced_with_ac ~seed ?max_checks ())
   | Custom c -> Some c
 
+let scheme_label = function
+  | Heuristic -> "heuristic"
+  | Base _ -> "base"
+  | Enhanced _ -> "enhanced"
+  | Enhanced_ac _ -> "enhanced-ac"
+  | Custom _ -> "custom"
+
 let optimize ?candidates ?max_checks scheme prog =
+  Trace.with_span ~cat:"optimizer" "optimize"
+    ~args:
+      [
+        ("program", Trace.Str (Program.name prog));
+        ("scheme", Trace.Str (scheme_label scheme));
+      ]
+  @@ fun () ->
   let t0 = Mlo_csp.Clock.wall_s () in
   match config_of_scheme ?max_checks scheme with
   | None ->
-    let r = Propagation.optimize prog in
+    let r =
+      Trace.with_span ~cat:"optimizer" "heuristic" (fun () ->
+          Propagation.optimize prog)
+    in
     let lookup name = Propagation.lookup r name in
-    let restructured = Select.restructure prog lookup in
+    let restructured =
+      Trace.with_span ~cat:"optimizer" "restructure" (fun () ->
+          Select.restructure prog lookup)
+    in
     {
       layouts = r.Propagation.layouts;
       restructured;
@@ -48,7 +69,10 @@ let optimize ?candidates ?max_checks scheme prog =
       elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
     }
   | Some config ->
-    let build = Build.build ?candidates prog in
+    let build =
+      Trace.with_span ~cat:"optimizer" "build-network" (fun () ->
+          Build.build ?candidates prog)
+    in
     let result = Solver.solve ~config build.Build.network in
     (match result.Solver.outcome with
     | Solver.Unsatisfiable ->
@@ -58,7 +82,10 @@ let optimize ?candidates ?max_checks scheme prog =
     | Solver.Solution assignment ->
       let layouts = Build.assignment_layouts build assignment in
       let lookup name = List.assoc_opt name layouts in
-      let restructured = Select.restructure prog lookup in
+      let restructured =
+        Trace.with_span ~cat:"optimizer" "restructure" (fun () ->
+            Select.restructure prog lookup)
+      in
       {
         layouts;
         restructured;

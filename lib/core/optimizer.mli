@@ -32,6 +32,10 @@ exception No_solution of string
 (** Raised when a constraint-network scheme proves the network
     unsatisfiable or exceeds its check budget. *)
 
+val scheme_label : scheme -> string
+(** Short stable name ("heuristic", "base", "enhanced", "enhanced-ac",
+    "custom") — used for trace span arguments and CLI messages. *)
+
 val optimize :
   ?candidates:(string -> Mlo_layout.Layout.t list) ->
   ?max_checks:int ->

@@ -11,7 +11,13 @@
    The fixpoint (the arc-consistency closure) is unique, so the result
    matches AC-3's exactly — property-tested in test_compiled.ml. *)
 
+module Trace = Mlo_obs.Trace
+
 let run comp =
+  Trace.with_span ~cat:"solver" "ac2001"
+    ~args:[ ("vars", Trace.Int (Compiled.num_vars comp)) ]
+  @@ fun () ->
+  let tr = Trace.enabled () in
   let n = Compiled.num_vars comp in
   let domains =
     Array.init n (fun i -> Bitset.create_full (Compiled.domain_size comp i))
@@ -53,11 +59,15 @@ let run comp =
   let wiped = ref None in
   while (not (Queue.is_empty queue)) && !wiped = None do
     let i, j = Queue.pop queue in
-    if revise i j then
+    if revise i j then begin
+      if tr then
+        Trace.instant ~cat:"solver" "ac-revise"
+          ~args:[ ("var", Trace.Int i); ("against", Trace.Int j) ];
       if Bitset.is_empty domains.(i) then wiped := Some i
       else
         Array.iter
           (fun k -> if k <> j then Queue.add (k, i) queue)
           (Compiled.neighbors comp i)
+    end
   done;
   match !wiped with Some i -> Error i | None -> Ok domains

@@ -1,3 +1,5 @@
+module Trace = Mlo_obs.Trace
+
 type var_policy =
   | Lexicographic_var
   | Random_var
@@ -128,6 +130,10 @@ type cstep = CFound | CFail of int
 let solve_compiled ?(config = default_config) comp =
   let n = Compiled.num_vars comp in
   let stats = Stats.create () in
+  Stats.ensure_hists stats n;
+  (* Tracing gate read once per solve: per-node events cost one local
+     branch when disabled. *)
+  let tr = Trace.enabled () in
   let rng = Rng.create config.seed in
   let fc = config.lookahead = Forward_checking in
   let t_wall = Clock.wall_s () and t_cpu = Clock.cpu_s () in
@@ -439,7 +445,15 @@ let solve_compiled ?(config = default_config) comp =
       Bitset.remove domains.(j) w;
       trail.(level) <- (j, w) :: trail.(level);
       Lset.add pruned_by (j * lw) level;
-      stats.Stats.prunings <- stats.Stats.prunings + 1
+      stats.Stats.prunings <- stats.Stats.prunings + 1;
+      if tr then
+        Trace.instant ~cat:"solver" "prune"
+          ~args:
+            [
+              ("var", Trace.Int j);
+              ("value", Trace.Int w);
+              ("level", Trace.Int level);
+            ]
     in
 
     let undo_level level =
@@ -479,6 +493,9 @@ let solve_compiled ?(config = default_config) comp =
       match config.backward with
       | Chronological ->
         stats.Stats.backtracks <- stats.Stats.backtracks + 1;
+        if tr then
+          Trace.instant ~cat:"solver" "backtrack"
+            ~args:[ ("level", Trace.Int level) ];
         CFail (level - 1)
       | Graph_based | Conflict_directed ->
         (* this level's conf row is dead after this node, filter it in
@@ -488,9 +505,23 @@ let solve_compiled ?(config = default_config) comp =
         let target = Lset.max_elt conf off lw in
         if target < 0 then CFail (-1)
         else begin
-          if target = level - 1 then
-            stats.Stats.backtracks <- stats.Stats.backtracks + 1
-          else stats.Stats.backjumps <- stats.Stats.backjumps + 1;
+          if target = level - 1 then begin
+            stats.Stats.backtracks <- stats.Stats.backtracks + 1;
+            if tr then
+              Trace.instant ~cat:"solver" "backtrack"
+                ~args:[ ("level", Trace.Int level) ]
+          end
+          else begin
+            stats.Stats.backjumps <- stats.Stats.backjumps + 1;
+            if tr then
+              Trace.instant ~cat:"solver" "backjump"
+                ~args:
+                  [
+                    ("level", Trace.Int level);
+                    ("target", Trace.Int target);
+                    ("distance", Trace.Int (level - target));
+                  ]
+          end;
           Lset.copy conf off carry 0 lw;
           Lset.remove carry 0 target;
           CFail target
@@ -524,6 +555,17 @@ let solve_compiled ?(config = default_config) comp =
       else begin
         let v = cand.((level * md) + k) in
         stats.Stats.nodes <- stats.Stats.nodes + 1;
+        stats.Stats.nodes_by_depth.(level) <-
+          stats.Stats.nodes_by_depth.(level) + 1;
+        stats.Stats.nodes_by_var.(var) <- stats.Stats.nodes_by_var.(var) + 1;
+        if tr then
+          Trace.instant ~cat:"solver" "decision"
+            ~args:
+              [
+                ("var", Trace.Int var);
+                ("value", Trace.Int v);
+                ("level", Trace.Int level);
+              ];
         let pre_ok = fc || consistent_with_assigned var v level in
         if not pre_ok then try_values var level m (k + 1)
         else begin
@@ -552,7 +594,11 @@ let solve_compiled ?(config = default_config) comp =
 
     let outcome =
       try
-        match search 0 with
+        match
+          Trace.with_span ~cat:"solver" "search"
+            ~args:[ ("vars", Trace.Int n) ]
+            (fun () -> search 0)
+        with
         | CFound -> Solution (Array.copy assignment)
         | CFail _ -> Unsatisfiable
       with Abort -> Aborted

@@ -7,6 +7,8 @@ type t = {
   mutable max_depth : int;
   mutable elapsed_s : float;
   mutable cpu_s : float;
+  mutable nodes_by_depth : int array;
+  mutable nodes_by_var : int array;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     max_depth = 0;
     elapsed_s = 0.;
     cpu_s = 0.;
+    nodes_by_depth = [||];
+    nodes_by_var = [||];
   }
 
 let reset t =
@@ -29,7 +33,26 @@ let reset t =
   t.prunings <- 0;
   t.max_depth <- 0;
   t.elapsed_s <- 0.;
-  t.cpu_s <- 0.
+  t.cpu_s <- 0.;
+  t.nodes_by_depth <- [||];
+  t.nodes_by_var <- [||]
+
+let ensure_hists t n =
+  let grow a =
+    if Array.length a >= n then a
+    else begin
+      let b = Array.make n 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    end
+  in
+  t.nodes_by_depth <- grow t.nodes_by_depth;
+  t.nodes_by_var <- grow t.nodes_by_var
+
+let merge_hist a b =
+  let la = Array.length a and lb = Array.length b in
+  Array.init (max la lb) (fun i ->
+      (if i < la then a.(i) else 0) + if i < lb then b.(i) else 0)
 
 let add a b =
   {
@@ -41,7 +64,26 @@ let add a b =
     max_depth = max a.max_depth b.max_depth;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
     cpu_s = a.cpu_s +. b.cpu_s;
+    nodes_by_depth = merge_hist a.nodes_by_depth b.nodes_by_depth;
+    nodes_by_var = merge_hist a.nodes_by_var b.nodes_by_var;
   }
+
+let to_json t =
+  let open Mlo_obs.Json in
+  let hist a = Arr (Array.to_list (Array.map (fun v -> Num (float_of_int v)) a)) in
+  Obj
+    [
+      ("nodes", Num (float_of_int t.nodes));
+      ("checks", Num (float_of_int t.checks));
+      ("backtracks", Num (float_of_int t.backtracks));
+      ("backjumps", Num (float_of_int t.backjumps));
+      ("prunings", Num (float_of_int t.prunings));
+      ("max_depth", Num (float_of_int t.max_depth));
+      ("elapsed_s", Num t.elapsed_s);
+      ("cpu_s", Num t.cpu_s);
+      ("nodes_by_depth", hist t.nodes_by_depth);
+      ("nodes_by_var", hist t.nodes_by_var);
+    ]
 
 let pp ppf t =
   Format.fprintf ppf

@@ -8,8 +8,14 @@ module Build = Mlo_netgen.Build
 module Propagation = Mlo_heuristic.Propagation
 module Simulate = Mlo_cachesim.Simulate
 module Optimizer = Mlo_core.Optimizer
+module Trace = Mlo_obs.Trace
 
 let default_max_checks = 2_000_000_000
+
+(* One span per (experiment, workload) row so a trace of [table2]/
+   [table3] rolls up into per-benchmark wall-time phases. *)
+let row_span experiment name f =
+  Trace.with_span ~cat:"experiment" (experiment ^ ":" ^ name) f
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                              *)
@@ -75,6 +81,7 @@ let solve_effort config net =
 let run_table2 ?(seed = 1) ?(max_checks = default_max_checks) () =
   List.map
     (fun spec ->
+      row_span "table2" spec.Spec.name @@ fun () ->
       let build = Spec.extract spec in
       let net = build.Build.network in
       let h = Propagation.optimize spec.Spec.program in
@@ -119,6 +126,7 @@ type fig4_row = { f4_name : string; shares : (string * float) list }
 let run_fig4 ?(seed = 1) ?(max_checks = default_max_checks) () =
   List.map
     (fun spec ->
+      row_span "fig4" spec.Spec.name @@ fun () ->
       let build = Spec.extract spec in
       let net = build.Build.network in
       let checks config = (solve_effort config net).work in
@@ -186,6 +194,7 @@ let optimize_with_retries scheme_of_seed ~candidates ~max_checks ~seed prog =
 let run_table3 ?(seed = 1) ?(max_checks = default_max_checks) ?domains () =
   List.map
     (fun spec ->
+      row_span "table3" spec.Spec.name @@ fun () ->
       let prog = spec.Spec.sim_program in
       let candidates = spec.Spec.candidates in
       let heuristic_sol = Optimizer.optimize Optimizer.Heuristic prog in
@@ -229,6 +238,7 @@ type ablation_row = {
 let run_ablation ?(seed = 1) ?(max_checks = default_max_checks) () =
   List.map
     (fun spec ->
+      row_span "ablation" spec.Spec.name @@ fun () ->
       let build = Spec.extract spec in
       let net = build.Build.network in
       let schemes =

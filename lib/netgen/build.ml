@@ -168,7 +168,10 @@ let build_internal ?(relax = false) ?(candidates = fun _ -> []) prog =
       (Network.constraint_pairs network);
   ({ network; program = prog; constrained_arrays = names }, nest_pairs)
 
-let build ?relax ?candidates prog = fst (build_internal ?relax ?candidates prog)
+let build ?relax ?candidates prog =
+  Mlo_obs.Trace.with_span ~cat:"netgen" "build"
+    ~args:[ ("program", Mlo_obs.Trace.Str (Program.name prog)) ]
+  @@ fun () -> fst (build_internal ?relax ?candidates prog)
 
 let weighted ?relax ?candidates prog =
   let t, nest_pairs = build_internal ?relax ?candidates prog in

@@ -1,0 +1,16 @@
+/* Monotonic nanosecond clock for trace timestamps.
+
+   Duplicates the essence of lib/csp's clock stub under a distinct
+   symbol so mlo_obs links standalone (the observability layer sits
+   below every other library and must not depend on mlo_csp).  Returns
+   a tagged immediate: allocation-free, safe under [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value mlo_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat) ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,159 @@
+type span_stat = { span_count : int; total_us : float; max_us : float }
+
+type counter_stat = {
+  samples : int;
+  first : float;
+  last : float;
+  monotone : bool;
+}
+
+type t = {
+  events : int;
+  spans : ((string * string) * span_stat) list;
+  instants : ((string * string) * int) list;
+  counters : ((string * string) * counter_stat) list;
+  max_nesting : int;
+  balanced : bool;
+}
+
+let field_str ev k = Option.bind (Json.member k ev) Json.to_str
+let field_num ev k = Option.bind (Json.member k ev) Json.to_float
+
+let of_json json =
+  match Json.to_list json with
+  | None -> Error "trace is not a JSON array of events"
+  | Some events ->
+    let spans : (string * string, span_stat) Hashtbl.t = Hashtbl.create 32 in
+    let instants = Hashtbl.create 32 in
+    let counters = Hashtbl.create 32 in
+    let counter_order = ref [] in
+    (* per-tid stack of open (cat, name, ts) begins *)
+    let stacks : (int, (string * string * float) list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let balanced = ref true in
+    let max_nesting = ref 0 in
+    let bad = ref None in
+    List.iter
+      (fun ev ->
+        if !bad = None then
+          match (field_str ev "ph", field_str ev "name", field_num ev "ts") with
+          | Some ph, Some name, Some ts -> (
+            let cat = Option.value ~default:"" (field_str ev "cat") in
+            let tid =
+              int_of_float (Option.value ~default:0. (field_num ev "tid"))
+            in
+            match ph with
+            | "B" ->
+              let stack =
+                (cat, name, ts)
+                :: Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+              in
+              if List.length stack > !max_nesting then
+                max_nesting := List.length stack;
+              Hashtbl.replace stacks tid stack
+            | "E" -> (
+              match Hashtbl.find_opt stacks tid with
+              | Some ((bcat, bname, bts) :: rest) ->
+                if bname <> name || bcat <> cat then balanced := false;
+                Hashtbl.replace stacks tid rest;
+                let dur = ts -. bts in
+                let prev =
+                  Option.value
+                    ~default:{ span_count = 0; total_us = 0.; max_us = 0. }
+                    (Hashtbl.find_opt spans (bcat, bname))
+                in
+                Hashtbl.replace spans (bcat, bname)
+                  {
+                    span_count = prev.span_count + 1;
+                    total_us = prev.total_us +. dur;
+                    max_us = Float.max prev.max_us dur;
+                  }
+              | Some [] | None -> balanced := false)
+            | "i" | "I" ->
+              Hashtbl.replace instants (cat, name)
+                (1 + Option.value ~default:0 (Hashtbl.find_opt instants (cat, name)))
+            | "C" ->
+              (match Json.member "args" ev with
+              | Some (Json.Obj series) ->
+                List.iter
+                  (fun (key, v) ->
+                    match Json.to_float v with
+                    | None -> ()
+                    | Some v -> (
+                      match Hashtbl.find_opt counters (name, key) with
+                      | None ->
+                        counter_order := (name, key) :: !counter_order;
+                        Hashtbl.replace counters (name, key)
+                          { samples = 1; first = v; last = v; monotone = true }
+                      | Some c ->
+                        Hashtbl.replace counters (name, key)
+                          {
+                            samples = c.samples + 1;
+                            first = c.first;
+                            last = v;
+                            monotone = c.monotone && v >= c.last;
+                          }))
+                  series
+              | Some _ | None -> ())
+            | _ -> ())
+          | _ -> bad := Some "event missing name/ph/ts")
+      events;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      (* anything still open is unbalanced *)
+      Hashtbl.iter (fun _ stack -> if stack <> [] then balanced := false) stacks;
+      let sorted_assoc tbl cmp =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort cmp
+      in
+      Ok
+        {
+          events = List.length events;
+          spans =
+            sorted_assoc spans (fun (_, a) (_, b) ->
+                Float.compare b.total_us a.total_us);
+          instants = sorted_assoc instants (fun (_, a) (_, b) -> compare b a);
+          counters =
+            List.rev_map
+              (fun k -> (k, Hashtbl.find counters k))
+              !counter_order;
+          max_nesting = !max_nesting;
+          balanced = !balanced;
+        }
+
+let load path =
+  match Json.parse_file path with
+  | Error _ as e -> e
+  | Ok json -> of_json json
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d events, max span nesting %d%s@," t.events
+    t.max_nesting
+    (if t.balanced then "" else " (UNBALANCED begin/end pairs)");
+  if t.spans <> [] then begin
+    Format.fprintf ppf "@,%-12s %-28s %8s %14s %14s@," "phase" "span" "count"
+      "total" "max";
+    List.iter
+      (fun ((cat, name), s) ->
+        Format.fprintf ppf "%-12s %-28s %8d %12.1fus %12.1fus@," cat name
+          s.span_count s.total_us s.max_us)
+      t.spans
+  end;
+  if t.instants <> [] then begin
+    Format.fprintf ppf "@,%-12s %-28s %8s@," "phase" "event" "count";
+    List.iter
+      (fun ((cat, name), n) ->
+        Format.fprintf ppf "%-12s %-28s %8d@," cat name n)
+      t.instants
+  end;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "@,%-20s %-20s %8s %14s %14s@," "counter" "key"
+      "samples" "first" "last";
+    List.iter
+      (fun ((name, key), c) ->
+        Format.fprintf ppf "%-20s %-20s %8d %14.0f %14.0f@," name key
+          c.samples c.first c.last)
+      t.counters
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Rollup of a {!Trace} file: per-span totals, instant-event counts and
+    counter ranges — the textual flamegraph behind
+    [layoutopt trace-summary].
+
+    Also the checker the trace-format tests lean on: {!of_json} walks
+    every event, matches begin/end pairs per thread and reports whether
+    the spans nest properly ([balanced]) and how deep they go. *)
+
+type span_stat = {
+  span_count : int;
+  total_us : float;  (** summed wall time of all instances *)
+  max_us : float;  (** longest single instance *)
+}
+
+type counter_stat = {
+  samples : int;
+  first : float;
+  last : float;
+  monotone : bool;  (** samples never decreased, in emission order *)
+}
+
+type t = {
+  events : int;  (** total events in the file *)
+  spans : ((string * string) * span_stat) list;
+      (** per (category, span name), descending total time *)
+  instants : ((string * string) * int) list;
+      (** per (category, event name) occurrence count, descending *)
+  counters : ((string * string) * counter_stat) list;
+      (** per (counter name, series key), emission order *)
+  max_nesting : int;  (** deepest begin/end nesting over all threads *)
+  balanced : bool;
+      (** every end matched the innermost open begin of its thread and
+          nothing was left open *)
+}
+
+val of_json : Json.t -> (t, string) result
+(** Expects the JSON array {!Trace.dump} produces (unknown phase letters
+    are counted but otherwise ignored). *)
+
+val load : string -> (t, string) result
+(** Parse and summarize a trace file. *)
+
+val pp : Format.formatter -> t -> unit

@@ -20,7 +20,9 @@ type t = {
 }
 
 let extract ?relax t =
-  Mlo_netgen.Build.build ?relax ~candidates:t.candidates t.program
+  Mlo_obs.Trace.with_span ~cat:"workload" "extract"
+    ~args:[ ("workload", Mlo_obs.Trace.Str t.name) ]
+  @@ fun () -> Mlo_netgen.Build.build ?relax ~candidates:t.candidates t.program
 
 let data_kb t =
   float_of_int (Mlo_ir.Program.data_size_bytes t.program) /. 1024.

@@ -1,0 +1,138 @@
+(* Cross-scheme agreement.
+
+   The paper's schemes differ only in search order and backward policy,
+   so on the same network they must agree on the one thing that matters:
+   whether a consistent layout assignment exists.  Every reported
+   solution is re-verified by a deliberately dumb checker that walks the
+   constraint relations directly — independent of the compiled view, the
+   bitset machinery and the solver's own bookkeeping. *)
+
+module Network = Mlo_csp.Network
+module Solver = Mlo_csp.Solver
+module Schemes = Mlo_csp.Schemes
+module Brute = Mlo_csp.Brute
+module Rng = Mlo_csp.Rng
+
+(* Same generator family as test_compiled: small random networks of 2-6
+   variables, domains of 1-3 values, ~60% pair density, ~55% allowed
+   pairs — dense enough that roughly half the instances are
+   unsatisfiable. *)
+let random_network seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 5 in
+  let names = Array.init n (fun i -> Printf.sprintf "v%d" i) in
+  let domains =
+    Array.init n (fun _ -> Array.init (1 + Rng.int rng 3) Fun.id)
+  in
+  let net = Network.create ~names ~domains in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.int rng 100 < 60 then begin
+        let pairs = ref [] in
+        for vi = 0 to Array.length domains.(i) - 1 do
+          for vj = 0 to Array.length domains.(j) - 1 do
+            if Rng.int rng 100 < 55 then pairs := (vi, vj) :: !pairs
+          done
+        done;
+        Network.add_allowed net i j !pairs
+      end
+    done
+  done;
+  net
+
+(* The dumb checker: a complete assignment is consistent iff every
+   constrained pair allows its two values.  Uses only the network's
+   relation queries, nothing from Compiled. *)
+let dumb_verify net a =
+  let n = Network.num_vars net in
+  let in_range i v = v >= 0 && v < Network.domain_size net i in
+  Array.length a = n
+  && List.for_all (fun i -> in_range i a.(i)) (List.init n Fun.id)
+  && List.for_all
+       (fun (i, j) -> Network.allowed net i a.(i) j a.(j))
+       (Network.constraint_pairs net)
+
+(* The three paper schemes, each with its own seed so agreement cannot
+   be an artifact of shared random decisions. *)
+let schemes_under_test seed =
+  [
+    ("base", Schemes.base ~seed ());
+    ("enhanced", Schemes.enhanced ~seed:(seed + 101) ());
+    ("enhanced-ac", Schemes.enhanced_with_ac ~seed:(seed + 211) ());
+  ]
+
+let prop_schemes_agree =
+  QCheck.Test.make
+    ~name:"base / enhanced / enhanced-ac agree on satisfiability" ~count:300
+    QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      let expected = Brute.is_satisfiable net in
+      List.for_all
+        (fun (label, config) ->
+          match (Solver.solve ~config net).Solver.outcome with
+          | Solver.Solution a ->
+            if not expected then
+              QCheck.Test.fail_reportf
+                "%s found a solution on an unsatisfiable network" label;
+            if not (dumb_verify net a) then
+              QCheck.Test.fail_reportf
+                "%s returned an inconsistent assignment" label;
+            true
+          | Solver.Unsatisfiable ->
+            if expected then
+              QCheck.Test.fail_reportf
+                "%s reported unsatisfiable on a satisfiable network" label;
+            true
+          | Solver.Aborted ->
+            QCheck.Test.fail_reportf "%s aborted without a check budget" label)
+        (schemes_under_test seed))
+
+(* Seed independence of the verdict: the randomized schemes may visit
+   different nodes under different seeds but must never change their
+   answer. *)
+let prop_verdict_seed_independent =
+  QCheck.Test.make ~name:"scheme verdicts do not depend on the seed"
+    ~count:150 QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      let verdict config =
+        match (Solver.solve ~config net).Solver.outcome with
+        | Solver.Solution _ -> true
+        | Solver.Unsatisfiable -> false
+        | Solver.Aborted -> QCheck.Test.fail_report "aborted without budget"
+      in
+      let base1 = verdict (Schemes.base ~seed:1 ())
+      and base2 = verdict (Schemes.base ~seed:(2 * seed + 7) ())
+      and enh1 = verdict (Schemes.enhanced ~seed:3 ())
+      and enh2 = verdict (Schemes.enhanced ~seed:(5 * seed + 13) ()) in
+      base1 = base2 && enh1 = enh2 && base1 = enh1)
+
+(* On the real workload networks (not just the random family) the three
+   schemes must all find a consistent assignment. *)
+let test_workload_schemes () =
+  List.iter
+    (fun name ->
+      let spec = Mlo_workloads.Suite.by_name name in
+      let build = Mlo_workloads.Spec.extract spec in
+      let net = build.Mlo_netgen.Build.network in
+      List.iter
+        (fun (label, config) ->
+          match (Solver.solve ~config net).Solver.outcome with
+          | Solver.Solution a ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s solution verifies" name label)
+              true (dumb_verify net a)
+          | Solver.Unsatisfiable | Solver.Aborted ->
+            Alcotest.failf "%s/%s found no solution" name label)
+        (schemes_under_test 42))
+    [ "med-im04"; "mxm"; "radar"; "shape"; "track" ]
+
+let () =
+  Alcotest.run "schemes"
+    [
+      ( "agreement",
+        [
+          QCheck_alcotest.to_alcotest prop_schemes_agree;
+          QCheck_alcotest.to_alcotest prop_verdict_seed_independent;
+          Alcotest.test_case "workload networks" `Quick test_workload_schemes;
+        ] );
+    ]
