@@ -17,6 +17,10 @@ module Tables = Mlo_experiments.Tables
 module Parser = Mlo_lang.Parser
 module Trace = Mlo_obs.Trace
 module Trace_summary = Mlo_obs.Trace_summary
+module Json = Mlo_obs.Json
+module Lint = Mlo_analysis.Lint
+module Netcheck = Mlo_analysis.Netcheck
+module Diagnostic = Mlo_analysis.Diagnostic
 
 open Cmdliner
 
@@ -292,6 +296,160 @@ let ablation_cmd =
     Term.(const run $ seed_arg $ max_checks_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint / analyze                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared target selection: any number of program files, the built-in
+   suite, or one named workload.  Each target carries a thunk building
+   its constraint network (with the workload's candidate palette when it
+   comes from the suite) so [lint] never pays for extraction. *)
+
+let files_pos_arg =
+  let doc = "Programs in the textual loop-nest language; may repeat." in
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let suite_flag =
+  let doc = "Also analyze the five built-in benchmark workloads." in
+  Arg.(value & flag & info [ "suite" ] ~doc)
+
+let workload_opt_arg =
+  let doc =
+    Printf.sprintf "Built-in benchmark to analyze; one of %s."
+      (String.concat ", " workload_names)
+  in
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) workload_names))) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let json_flag =
+  let doc =
+    "Emit one memlayout-analysis/1 JSON document on stdout instead of text."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let gather_targets cmd files suite workload =
+  let suite_names =
+    if suite then workload_names
+    else match workload with Some w -> [ w ] | None -> []
+  in
+  let of_suite name =
+    let spec = Suite.by_name name in
+    (name, spec.Spec.program, fun () -> Spec.extract spec)
+  in
+  let of_file file =
+    match Parser.parse_file file with
+    | exception Parser.Error (msg, line, col) ->
+      Format.eprintf "%s:%d:%d: %s@." file line col msg;
+      exit 2
+    | prog -> (file, prog, fun () -> Build.build prog)
+  in
+  let targets = List.map of_file files @ List.map of_suite suite_names in
+  if targets = [] then begin
+    Printf.eprintf
+      "layoutopt: %s needs something to analyze (FILE arguments, --suite, or \
+       -w NAME)\n"
+      cmd;
+    exit 2
+  end;
+  targets
+
+let analysis_doc targets =
+  Json.Obj
+    [
+      ("schema", Json.Str "memlayout-analysis/1");
+      ("targets", Json.Arr targets);
+    ]
+
+let lint_cmd =
+  let run files suite workload json trace =
+    let targets = gather_targets "lint" files suite workload in
+    let code =
+      with_trace trace @@ fun () ->
+      let reports =
+        List.map (fun (_, prog, _) -> Lint.run prog) targets
+      in
+      if json then
+        print_endline
+          (Json.to_string (analysis_doc (List.map Lint.to_json reports)))
+      else
+        List.iteri
+          (fun i r ->
+            if i > 0 then Format.printf "@.";
+            Format.printf "%a@." Lint.pp r)
+          reports;
+      Diagnostic.exit_code
+        (List.concat_map (fun r -> r.Lint.diagnostics) reports)
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check programs before optimization: bounds of every affine \
+          access, dead and write-only arrays, singular access matrices, \
+          dependence-pinned loop orders.  Exits 1 when any \
+          error-severity diagnostic is found, 2 on usage errors.")
+    Term.(
+      const run $ files_pos_arg $ suite_flag $ workload_opt_arg $ json_flag
+      $ trace_arg)
+
+let analyze_cmd =
+  let run files suite workload json trace =
+    let targets = gather_targets "analyze" files suite workload in
+    let code =
+      with_trace trace @@ fun () ->
+      let results =
+        List.map
+          (fun (_, prog, extract) ->
+            let lint = Lint.run prog in
+            let build = extract () in
+            let name = Network.name build.Build.network in
+            let report = Netcheck.analyze build.Build.network in
+            (lint, name, report))
+          targets
+      in
+      if json then
+        print_endline
+          (Json.to_string
+             (analysis_doc
+                (List.map
+                   (fun (lint, name, report) ->
+                     match Lint.to_json lint with
+                     | Json.Obj fields ->
+                       Json.Obj
+                         (fields @ [ ("network", Netcheck.to_json ~name report) ])
+                     | other -> other)
+                   results)))
+      else
+        List.iteri
+          (fun i (lint, name, report) ->
+            if i > 0 then Format.printf "@.";
+            Format.printf "%a@.%a@." Lint.pp lint (Netcheck.pp ~name) report)
+          results;
+      Diagnostic.exit_code
+        (List.concat_map
+           (fun (lint, name, report) ->
+             lint.Lint.diagnostics @ Netcheck.diagnostics ~name report)
+           results)
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the program lint plus structural analysis of the extracted \
+          constraint network: connected components, width and induced \
+          width along the most-constraining order (Freuder's \
+          backtrack-free condition), arc-inconsistent values, redundant \
+          constraints, and a minimal unsat core when arc consistency \
+          wipes a domain.  Exits 1 when any error-severity diagnostic is \
+          found, 2 on usage errors.")
+    Term.(
+      const run $ files_pos_arg $ suite_flag $ workload_opt_arg $ json_flag
+      $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* trace-summary                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -330,8 +488,29 @@ let main_cmd =
   let doc = "constraint-network based memory layout optimization (DATE'05)" in
   Cmd.group
     (Cmd.info "layoutopt" ~version:"1.0.0" ~doc)
-    [ show_cmd; solve_cmd; simulate_cmd; optimize_file_cmd; table1_cmd;
-      table2_cmd; fig4_cmd; table3_cmd; ablation_cmd; all_cmd;
-      trace_summary_cmd ]
+    [ show_cmd; solve_cmd; simulate_cmd; optimize_file_cmd; lint_cmd;
+      analyze_cmd; table1_cmd; table2_cmd; fig4_cmd; table3_cmd;
+      ablation_cmd; all_cmd; trace_summary_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* An unknown subcommand must die exactly like an unknown scheme does: a
+   single-line error naming the alternatives, exit 2 — not cmdliner's
+   multi-line usage dump with its own exit code. *)
+let subcommand_names =
+  [ "show"; "solve"; "simulate"; "optimize-file"; "lint"; "analyze";
+    "table1"; "table2"; "fig4"; "table3"; "ablation"; "all";
+    "trace-summary" ]
+
+let () =
+  (if Array.length Sys.argv > 1 then
+     let first = Sys.argv.(1) in
+     if
+       String.length first > 0
+       && first.[0] <> '-'
+       && not (List.mem first subcommand_names)
+     then begin
+       Printf.eprintf
+         "layoutopt: unknown command '%s' (valid commands: %s)\n" first
+         (String.concat ", " subcommand_names);
+       exit 2
+     end);
+  exit (Cmd.eval main_cmd)

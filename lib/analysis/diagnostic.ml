@@ -1,0 +1,47 @@
+module Json = Mlo_obs.Json
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  code : string;
+  subject : string;
+  message : string;
+}
+
+let make severity ~code ~subject message = { severity; code; subject; message }
+
+let severity_label = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare_severity a b = Int.compare (rank a) (rank b)
+let is_error d = d.severity = Error
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare_severity b.severity a.severity in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c else String.compare a.subject b.subject)
+    ds
+
+let exit_code ds = if List.exists is_error ds then 1 else 0
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s" (severity_label d.severity) d.code
+    d.subject d.message
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_label d.severity));
+      ("code", Json.Str d.code);
+      ("subject", Json.Str d.subject);
+      ("message", Json.Str d.message);
+    ]

@@ -1,0 +1,45 @@
+(** Analyzer findings: one diagnostic per defect or notable property.
+
+    Both analysis layers ({!Lint} over programs, {!Netcheck} over
+    constraint networks) report through this one type so the CLI, the
+    JSON emitter and the CI gate treat them uniformly.  Severities are
+    deliberate: [Error] marks something provably wrong (an access that
+    escapes its array, a domain wiped by arc consistency), [Warning]
+    marks a likely mistake (a declared array no nest references), and
+    [Info] records structure worth knowing that is not a defect
+    (temporal-reuse access matrices, pinned loop orders, independent
+    subnetworks). *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case identifier, e.g. ["out-of-bounds"] *)
+  subject : string;  (** the nest / array / variable concerned *)
+  message : string;  (** one human-readable line *)
+}
+
+val make : severity -> code:string -> subject:string -> string -> t
+val severity_label : severity -> string
+
+val compare_severity : severity -> severity -> int
+(** Orders [Error] above [Warning] above [Info]. *)
+
+val is_error : t -> bool
+
+val count : severity -> t list -> int
+
+val sort : t list -> t list
+(** Most severe first; within a severity, by code then subject
+    (stable). *)
+
+val exit_code : t list -> int
+(** The CI contract: [1] when any [Error]-severity diagnostic is
+    present, [0] otherwise.  (Exit [2] is reserved for usage errors and
+    never produced from diagnostics.) *)
+
+val pp : Format.formatter -> t -> unit
+(** ["error[out-of-bounds] subject: message"]. *)
+
+val to_json : t -> Mlo_obs.Json.t
+(** Object with fields [severity], [code], [subject], [message]. *)

@@ -1,0 +1,45 @@
+(** Program-layer static analysis (lint).
+
+    The optimization pipeline assumes well-formed affine programs; this
+    pass proves the properties it relies on {e before} network
+    extraction, search and simulation, and reports exactly where a
+    program falls short:
+
+    - {b bounds} — interval analysis of every {!Mlo_ir.Affine} index
+      expression over its nest's loop ranges.  An access whose interval
+      can escape [[0, extent)] in some dimension is an [Error] naming
+      the nest, the reference, the dimension and the computed range;
+      in-bounds accesses are thereby {e proved} safe (index expressions
+      are affine and loop bounds are constants, so the interval is
+      exact).
+    - {b liveness} — a declared array referenced by no nest is a
+      [Warning] (dead array); arrays only read (inputs) or only written
+      (outputs never read back) are [Info].
+    - {b injectivity} — an access matrix with a non-trivial nullspace
+      maps distinct iterations to the same element ([Info]: this is
+      temporal reuse, and such references demand no layout).
+    - {b pinning} — a nest one of whose dependence distances is
+      {!Mlo_ir.Dependence.Unknown} is pinned to its source loop order;
+      the diagnosis names the exact reference pair responsible
+      ([Info]). *)
+
+type t = {
+  program : string;
+  arrays : int;
+  nests : int;
+  accesses : int;
+  diagnostics : Diagnostic.t list;  (** sorted, most severe first *)
+}
+
+val run : Mlo_ir.Program.t -> t
+(** Runs all four passes.  Emits one trace span per pass (category
+    ["analysis"]) when tracing is enabled. *)
+
+val clean : t -> bool
+(** No error-severity diagnostics. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Mlo_obs.Json.t
+(** One target object of the [memlayout-analysis/1] schema: fields
+    [program], [arrays], [nests], [accesses], [diagnostics]. *)

@@ -116,3 +116,24 @@ let pp ppf t =
     t.nests;
   Format.fprintf ppf "@,%.1f%% of reference executions served@]"
     (100. *. t.served_fraction)
+
+type unsat = { wiped : string; core : (string * string) list }
+
+let explain_unsat net =
+  match Mlo_analysis.Netcheck.unsat_core net with
+  | None -> None
+  | Some (core, wiped) ->
+    let name = Mlo_csp.Network.name net in
+    Some
+      {
+        wiped = name wiped;
+        core = List.map (fun (i, j) -> (name i, name j)) core;
+      }
+
+let pp_unsat ppf u =
+  Format.fprintf ppf
+    "@[<v>no arc-consistent value for %s; minimal unsat core (%d \
+     constraints):@,"
+    u.wiped (List.length u.core);
+  List.iter (fun (a, b) -> Format.fprintf ppf "  %s-%s@," a b) u.core;
+  Format.fprintf ppf "@]"

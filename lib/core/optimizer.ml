@@ -73,10 +73,25 @@ let optimize ?candidates ?max_checks scheme prog =
       Trace.with_span ~cat:"optimizer" "build-network" (fun () ->
           Build.build ?candidates prog)
     in
-    let result = Solver.solve ~config build.Build.network in
+    (* Component-wise search: independent subnetworks are solved
+       separately (decision-equivalent to the whole-network solve; a
+       single-component network takes the identical path). *)
+    let result = Solver.solve_components ~config build.Build.network in
     (match result.Solver.outcome with
     | Solver.Unsatisfiable ->
-      raise (No_solution (Program.name prog ^ ": network unsatisfiable"))
+      let detail =
+        match Mlo_analysis.Netcheck.unsat_core build.Build.network with
+        | Some (core, wiped) ->
+          let name = Mlo_csp.Network.name build.Build.network in
+          Printf.sprintf
+            "; no arc-consistent value for %s, minimal unsat core: %s"
+            (name wiped)
+            (String.concat ", "
+               (List.map (fun (i, j) -> name i ^ "-" ^ name j) core))
+        | None -> ""
+      in
+      raise
+        (No_solution (Program.name prog ^ ": network unsatisfiable" ^ detail))
     | Solver.Aborted ->
       raise (No_solution (Program.name prog ^ ": check budget exhausted"))
     | Solver.Solution assignment ->

@@ -56,5 +56,12 @@ val allowed : t -> int -> int -> int -> int -> bool
 val support_count : t -> int -> int -> int -> int
 (** Same contract as {!Network.support_count}, in O(1). *)
 
+val components : t -> int array array
+(** Connected components of the constraint graph.  Each component lists
+    its variables ascending; components are ordered by smallest member.
+    Unconstrained variables are singleton components.  Variables in
+    different components share no constraint, so the network's solutions
+    are exactly the products of per-component solutions. *)
+
 val verify : t -> int array -> bool
 (** Complete assignment check, mirroring {!Network.verify}. *)

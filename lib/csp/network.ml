@@ -169,6 +169,39 @@ let compile t =
     t.compiled <- Some c;
     c
 
+let components t = Compiled.components (compile t)
+
+(* Induced subnetwork: keep only the listed variables (order preserved)
+   and the constraints between them.  Empty relations (constraints that
+   allow nothing) are preserved as empty relations. *)
+let induced t vars =
+  let n = num_vars t in
+  let pos = Array.make n (-1) in
+  Array.iteri
+    (fun k v ->
+      check_var t v;
+      if pos.(v) >= 0 then invalid_arg "Network.induced: duplicate variable";
+      pos.(v) <- k)
+    vars;
+  let sub =
+    create
+      ~names:(Array.map (fun v -> t.names.(v)) vars)
+      ~domains:(Array.map (fun v -> t.domains.(v)) vars)
+  in
+  Hashtbl.iter
+    (fun (i, j) rel ->
+      if pos.(i) >= 0 && pos.(j) >= 0 then begin
+        let pairs = ref [] in
+        for vi = 0 to Array.length t.domains.(i) - 1 do
+          for vj = 0 to Array.length t.domains.(j) - 1 do
+            if Relation.mem rel vi vj then pairs := (vi, vj) :: !pairs
+          done
+        done;
+        add_allowed sub pos.(i) pos.(j) !pairs
+      end)
+    t.cons;
+  sub
+
 let pp pp_value ppf t =
   Format.fprintf ppf "@[<v>network: %d variables, %d constraints@," (num_vars t)
     (num_constraints t);

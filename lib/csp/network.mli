@@ -76,6 +76,18 @@ val consistent_partial : 'a t -> int array -> bool
     unassigned, and only constraints between assigned variables are
     checked — the paper's "consistent partial instantiation". *)
 
+val components : 'a t -> int array array
+(** Connected components of the constraint graph ({!Compiled.components}
+    on the memoized compiled view): members ascending, components ordered
+    by smallest member, unconstrained variables singleton. *)
+
+val induced : 'a t -> int array -> 'a t
+(** [induced t vars] is the subnetwork on exactly the variables [vars]
+    (order preserved — sub-variable [k] is [vars.(k)]), keeping the
+    constraints whose endpoints both survive.  Constraints that allow
+    nothing are preserved as such.  Raises [Invalid_argument] on a
+    duplicate or out-of-range variable. *)
+
 val map_values : ('a -> 'b) -> 'a t -> 'b t
 (** Same structure with converted domain values. *)
 

@@ -41,6 +41,15 @@ val extension_schemes : ?seed:int -> ?max_checks:int -> unit -> ablation list
 (** Beyond the paper: enhanced scheme with conflict-directed backjumping,
     with forward checking, and with AC-2001 preprocessing. *)
 
+val most_constraining_order : 'a Network.t -> int array
+(** The static variable order the enhanced scheme's most-constraining
+    rule follows when the search never backtracks: repeatedly the
+    unselected variable with (most constraints to unselected variables,
+    then most to already-selected ones, then smallest domain), lowest
+    index on ties — the same triple the dynamic selection scores.  This
+    is the ordering {!Mlo_analysis.Netcheck} measures width and induced
+    width along (Freuder's backtrack-free condition). *)
+
 val breakdown :
   base_checks:int -> enhanced_checks:int -> single:(string * int) list ->
   (string * float) list

@@ -98,6 +98,20 @@ val solve : ?config:config -> 'a Network.t -> result
 val solve_compiled : ?config:config -> Compiled.t -> result
 (** Runs the search directly on an already-compiled view. *)
 
+val solve_components : ?config:config -> 'a Network.t -> result
+(** Component-wise search: solves each connected component of the
+    constraint graph ({!Network.components}) as an independent
+    subnetwork and merges the per-component solutions.  Variables in
+    different components share no constraint, so this is
+    decision-equivalent to {!solve} — same satisfiability, and any
+    returned assignment satisfies {!Network.verify} — while dead-ends
+    never thrash across unrelated components (the stats can only
+    improve).  A single-component network takes exactly the {!solve}
+    path: outcome and counters are identical.  [config.max_checks] is a
+    global budget consumed across components; stats are summed
+    (histograms are merged onto whole-network variable indices and
+    per-component depths). *)
+
 val solve_values : ?config:config -> 'a Network.t -> ('a array * result) option
 (** Convenience: like {!solve} but materializes the domain values of the
     solution; [None] when unsatisfiable or aborted. *)

@@ -121,7 +121,7 @@ let pair_distance a1 a2 =
   else if gcd_test a1 a2 then [ Unknown ]
   else []
 
-let distances nest =
+let pair_distances nest =
   let accs = Loop_nest.accesses nest in
   let out = ref [] in
   let n = Array.length accs in
@@ -132,10 +132,13 @@ let distances nest =
         String.equal (Access.array_name a1) (Access.array_name a2)
         && (Access.is_write a1 || Access.is_write a2)
         && not (i = j && not (Access.is_write a1))
-      then out := pair_distance a1 a2 @ !out
+      then out := (i, j, pair_distance a1 a2) :: !out
     done
   done;
   !out
+
+let distances nest =
+  List.concat_map (fun (_, _, ds) -> ds) (pair_distances nest)
 
 let is_identity perm =
   let ok = ref true in

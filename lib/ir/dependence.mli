@@ -20,6 +20,15 @@ type distance =
       (** Conservative: direction unknown, only the identity order is
           safe. *)
 
+val pair_distances : Loop_nest.t -> (int * int * distance list) list
+(** Dependence distances attributed to the reference pair that produced
+    them: [(i, j, ds)] relates the nest's [i]-th and [j]-th accesses
+    (body order, [i <= j]) to the distances between them ([[]] when the
+    pair is proved independent).  Only pairs to the same array with at
+    least one write appear.  The analyzer uses this to name the exact
+    pair whose [Unknown] distance pins a nest to its source loop
+    order. *)
+
 val distances : Loop_nest.t -> distance list
 (** Dependence distances between every ordered pair of references to the
     same array in which at least one reference writes.  Loop-independent

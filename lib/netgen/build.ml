@@ -203,3 +203,8 @@ let lookup t assignment name =
   match var_of_array t name with
   | i -> Some (Network.value t.network i assignment.(i))
   | exception Not_found -> None
+
+let components t =
+  Array.map
+    (Array.map (fun v -> t.constrained_arrays.(v)))
+    (Network.components t.network)

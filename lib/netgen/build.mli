@@ -62,3 +62,10 @@ val assignment_layouts : t -> int array -> (string * Mlo_layout.Layout.t) list
 val lookup : t -> int array -> string -> Mlo_layout.Layout.t option
 (** [lookup t assignment name] is the layout the assignment gives to
     [name] ([None] if the name is unknown). *)
+
+val components : t -> string array array
+(** Connected components of the extracted network's constraint graph,
+    as array names ({!Mlo_csp.Network.components} decoded through the
+    variable map).  Arrays in different components never co-occur in a
+    constraining nest, so their layouts are chosen independently;
+    singleton components are arrays whose assignment is free. *)

@@ -265,6 +265,78 @@ let test_dependence_gcd_independence () =
   in
   Alcotest.(check int) "independent" 0 (List.length (Dependence.distances nest))
 
+let stride_nest wc woff rc roff =
+  (* non-uniform 1-d pair: A[wc*i + woff] written, A[rc*i + roff] read *)
+  let w = Access.write "A" [ Affine.make [ wc ] woff ] in
+  let r = Access.read "A" [ Affine.make [ rc ] roff ] in
+  Loop_nest.make ~name:"stride"
+    [ { Loop_nest.var = "i"; lo = 0; hi = 8 } ]
+    [ w; r ]
+
+let test_dependence_gcd_nonuniform () =
+  (* gcd(4,6)=2: an offset difference of 1 is unreachable (independent),
+     of 2 reachable (conservatively Unknown) *)
+  Alcotest.(check int) "offset-only conflict: independent" 0
+    (List.length (Dependence.distances (stride_nest 4 0 6 1)));
+  (match Dependence.distances (stride_nest 4 0 6 2) with
+  | [ Dependence.Unknown ] -> ()
+  | l -> Alcotest.failf "expected [Unknown], got %d distances" (List.length l));
+  (* coprime strides: gcd 1 divides every offset, so a dependence can
+     never be excluded *)
+  match Dependence.distances (stride_nest 2 0 3 1) with
+  | [ Dependence.Unknown ] -> ()
+  | l -> Alcotest.failf "expected [Unknown], got %d distances" (List.length l)
+
+let test_dependence_unknown_pins_identity () =
+  (* A[i][j] written, A[j][i] read: non-uniform, gcd test cannot rule it
+     out -> Unknown, which pins the nest to its source order *)
+  let w =
+    Access.write "A" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ]
+  in
+  let r =
+    Access.read "A" [ Affine.make [ 0; 1 ] 0; Affine.make [ 1; 0 ] 0 ]
+  in
+  let nest =
+    Loop_nest.make ~name:"transpose"
+      [
+        { Loop_nest.var = "i"; lo = 0; hi = 4 };
+        { Loop_nest.var = "j"; lo = 0; hi = 4 };
+      ]
+      [ w; r ]
+  in
+  (match Dependence.distances nest with
+  | [ Dependence.Unknown ] -> ()
+  | l -> Alcotest.failf "expected [Unknown], got %d distances" (List.length l));
+  Alcotest.(check bool) "interchange illegal" false
+    (Dependence.legal_permutation nest [| 1; 0 |]);
+  match Dependence.legal_permutations nest with
+  | [ (p, n) ] ->
+    Alcotest.(check bool) "only identity survives" true (p = [| 0; 1 |]);
+    Alcotest.(check bool) "identity nest unchanged" true (Loop_nest.equal n nest)
+  | l -> Alcotest.failf "expected only identity, got %d orders" (List.length l)
+
+let test_dependence_pair_attribution () =
+  (* three references, one dependent pair: pair_distances must name the
+     write/read pair carrying the distance, by access index *)
+  let b = Access.read "B" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ] in
+  let w = Access.write "A" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ] in
+  let r = Access.read "A" [ Affine.make [ 1; 0 ] (-1); Affine.make [ 0; 1 ] 0 ] in
+  let nest =
+    Loop_nest.make ~name:"attr"
+      [
+        { Loop_nest.var = "i"; lo = 0; hi = 4 };
+        { Loop_nest.var = "j"; lo = 0; hi = 4 };
+      ]
+      [ b; w; r ]
+  in
+  let carrying =
+    List.filter (fun (_, _, ds) -> ds <> []) (Dependence.pair_distances nest)
+  in
+  match carrying with
+  | [ (1, 2, [ Dependence.Exact d ]) ] ->
+    Alcotest.check vec "distance" [| 1; 0 |] d
+  | l -> Alcotest.failf "expected one attributed pair, got %d" (List.length l)
+
 (* ------------------------------------------------------------------ *)
 (* Cost                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -345,12 +417,58 @@ let prop_trip_count_matches_iter =
       Loop_nest.iter nest (fun _ -> incr count);
       !count = Loop_nest.trip_count nest)
 
+(* Random depth-3 nests with a uniform write/read pair: A[i][j][k]
+   written, A[i-a][j-b][k-c] read for small a, b, c. *)
+let gen_dep_nest =
+  QCheck.map
+    (fun seed ->
+      let rng = Mlo_csp.Rng.create (seed + 1) in
+      let off () = Mlo_csp.Rng.int rng 5 - 2 in
+      let w =
+        Access.write "A"
+          [
+            Affine.make [ 1; 0; 0 ] 0;
+            Affine.make [ 0; 1; 0 ] 0;
+            Affine.make [ 0; 0; 1 ] 0;
+          ]
+      in
+      let r =
+        Access.read "A"
+          [
+            Affine.make [ 1; 0; 0 ] (off ());
+            Affine.make [ 0; 1; 0 ] (off ());
+            Affine.make [ 0; 0; 1 ] (off ());
+          ]
+      in
+      Loop_nest.make ~name:"dep"
+        [
+          { Loop_nest.var = "i"; lo = 0; hi = 4 };
+          { Loop_nest.var = "j"; lo = 0; hi = 4 };
+          { Loop_nest.var = "k"; lo = 0; hi = 4 };
+        ]
+        [ w; r ])
+    QCheck.small_nat
+
+let prop_legal_permutations_sound =
+  QCheck.Test.make
+    ~name:"legal_permutations: identity first, every order checks out"
+    ~count:200 gen_dep_nest (fun nest ->
+      match Dependence.legal_permutations nest with
+      | [] -> QCheck.Test.fail_report "identity is always legal"
+      | (p0, n0) :: rest ->
+        p0 = Array.init (Array.length p0) Fun.id
+        && Loop_nest.equal n0 nest
+        && List.for_all
+             (fun (p, _) -> Dependence.legal_permutation nest p)
+             rest)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_permute_preserves_elements;
       prop_eval_add_homomorphic;
       prop_trip_count_matches_iter;
+      prop_legal_permutations_sound;
     ]
 
 let () =
@@ -395,6 +513,12 @@ let () =
             test_dependence_matmul_all_legal;
           Alcotest.test_case "gcd independence" `Quick
             test_dependence_gcd_independence;
+          Alcotest.test_case "gcd on non-uniform strides" `Quick
+            test_dependence_gcd_nonuniform;
+          Alcotest.test_case "unknown pins to identity" `Quick
+            test_dependence_unknown_pins_identity;
+          Alcotest.test_case "pair attribution" `Quick
+            test_dependence_pair_attribution;
         ] );
       ( "cost",
         [
