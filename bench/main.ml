@@ -21,6 +21,8 @@ module Build = Mlo_netgen.Build
 module Propagation = Mlo_heuristic.Propagation
 module Simulate = Mlo_cachesim.Simulate
 module Tables = Mlo_experiments.Tables
+module Prune = Mlo_netgen.Prune
+module Locality = Mlo_analysis.Locality
 open Bechamel
 open Toolkit
 
@@ -81,23 +83,30 @@ let fig4_tests =
              ignore (Solver.solve ~config:a.Schemes.config net))))
     (Schemes.figure4_schemes ~max_checks:50_000_000 ())
 
+(* matmul32: the Table-3 sweep program, shared with the locality
+   kernels below so the static estimate and the simulation time the
+   same input. *)
+let matmul32 =
+  lazy
+    (let n = 32 in
+     let mm, req =
+       Mlo_workloads.Kernels.matmul ~name:"mm" ~n ~c:"C" ~a:"A" ~b:"B"
+     in
+     Mlo_ir.Program.make ~name:"bench-mm" (Mlo_workloads.Kernels.declare req)
+       [ mm ])
+
+let colB = function
+  | "B" -> Some (Mlo_layout.Layout.col_major 2)
+  | _ -> None
+
+(* The Table-3 sweep shape: one program, several layout assignments
+   (here 8 = 4 code versions x 2, big enough to keep 4 domains busy). *)
+let matmul32_sweep =
+  List.concat (List.init 4 (fun _ -> [ (fun _ -> None); colB ]))
+
 let table3_tests =
-  let n = 32 in
-  let mm, req = Mlo_workloads.Kernels.matmul ~name:"mm" ~n ~c:"C" ~a:"A" ~b:"B" in
-  let prog =
-    Mlo_ir.Program.make ~name:"bench-mm" (Mlo_workloads.Kernels.declare req)
-      [ mm ]
-  in
-  let colB = function
-    | "B" -> Some (Mlo_layout.Layout.col_major 2)
-    | _ -> None
-  in
-  (* The Table-3 sweep shape: one program, several layout assignments
-     (here 8 = 4 code versions x 2, big enough to keep 4 domains busy). *)
-  let sweep =
-    List.concat
-      (List.init 4 (fun _ -> [ (fun _ -> None); colB ]))
-  in
+  let prog = Lazy.force matmul32 in
+  let sweep = matmul32_sweep in
   [
     Test.make ~name:"table3/simulate:matmul32-row"
       (Staged.stage (fun () ->
@@ -125,6 +134,41 @@ let table3_tests =
                 ignore (Simulate.run_many ~domains:4 prog ~layouts_list:sweep)));
        ]
      else [])
+
+(* Domain build with and without dominance pruning.  The extract/prune
+   pair on the same spec isolates the pruning pass itself; Prune.apply
+   re-runs the locality profiler per (array, candidate layout), so its
+   cost scales with the domain sizes Table 1 reports. *)
+let prune_tests =
+  List.concat_map
+    (fun spec ->
+      [
+        Test.make
+          ~name:(Printf.sprintf "prune/extract:%s" spec.Spec.name)
+          (Staged.stage (fun () -> ignore (Spec.extract spec)));
+        Test.make
+          ~name:(Printf.sprintf "prune/extract+prune:%s" spec.Spec.name)
+          (Staged.stage (fun () ->
+               ignore (Prune.apply (Spec.extract spec))));
+      ])
+    [ Lazy.force mxm; Lazy.force med ]
+
+(* Static miss estimate vs trace-driven simulation on the same
+   matmul32 sweep: locality/estimate-sweep is the closed-form analyzer
+   over the 8 layout assignments table3/run_many walks address by
+   address.  The ratio of the two is the speedup the cost model buys. *)
+let locality_tests =
+  let prog = Lazy.force matmul32 in
+  [
+    Test.make ~name:"locality/analyze:matmul32"
+      (Staged.stage (fun () ->
+           ignore (Locality.analyze prog ~layouts:colB)));
+    Test.make ~name:"locality/estimate-sweep:matmul32-x8"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun layouts -> ignore (Locality.analyze prog ~layouts))
+             matmul32_sweep));
+  ]
 
 (* Per-kernel robust statistics over the raw per-sample ns/run values.
    Percentiles use linear interpolation between order statistics; MAD is
@@ -164,7 +208,10 @@ let stats_of samples =
    come straight from the raw per-sample measurements; OLS is
    bechamel's usual run-predictor fit. *)
 let benchmark ?(filter = "") ~quota () =
-  let tests = table1_tests @ table2_tests @ fig4_tests @ table3_tests in
+  let tests =
+    table1_tests @ table2_tests @ fig4_tests @ table3_tests @ prune_tests
+    @ locality_tests
+  in
   let tests =
     if filter = "" then tests
     else List.filter (fun t -> String.starts_with ~prefix:filter (Test.name t)) tests

@@ -21,6 +21,9 @@ module Json = Mlo_obs.Json
 module Lint = Mlo_analysis.Lint
 module Netcheck = Mlo_analysis.Netcheck
 module Diagnostic = Mlo_analysis.Diagnostic
+module Locality = Mlo_analysis.Locality
+module Costcheck = Mlo_analysis.Costcheck
+module Prune = Mlo_netgen.Prune
 
 open Cmdliner
 
@@ -116,14 +119,35 @@ let show_cmd =
 (* solve                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let prune_flag =
+  let doc =
+    "Drop dominated layout candidates from every array's domain before \
+     the solver runs (sound: satisfiability is unchanged); reports the \
+     pruned-value counts."
+  in
+  Arg.(value & flag & info [ "prune-dominated" ] ~doc)
+
+let pp_pruned ppf = function
+  | Some info when Prune.total info > 0 ->
+    Format.fprintf ppf "pruned: %d dominated values (domain %d -> %d%s)@."
+      (Prune.total info) info.Prune.before info.Prune.after
+      (String.concat ""
+         (List.map
+            (fun (a, n) -> Printf.sprintf "; %s -%d" a n)
+            info.Prune.per_array))
+  | Some info ->
+    Format.fprintf ppf "pruned: no dominated values (domain %d)@."
+      info.Prune.before
+  | None -> ()
+
 let solve_cmd =
-  let run workload scheme seed max_checks explain trace =
+  let run workload scheme seed max_checks explain prune trace =
     let spec = Suite.by_name workload in
     let scheme = scheme_of ~seed scheme in
     match
       with_trace trace @@ fun () ->
-      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks scheme
-        spec.Spec.program
+      Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
+        ~prune_dominated:prune scheme spec.Spec.program
     with
     | exception Optimizer.No_solution msg ->
       Format.printf "no solution: %s@." msg;
@@ -134,6 +158,7 @@ let solve_cmd =
         (fun (name, layout) ->
           Format.printf "  %-6s %s@." name (Layout.describe layout))
         sol.Optimizer.layouts;
+      Format.printf "%a" pp_pruned sol.Optimizer.pruned_values;
       (match sol.Optimizer.solver_stats with
       | Some st -> Format.printf "solver: %a@." Stats.pp st
       | None -> ());
@@ -149,7 +174,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Choose memory layouts for a workload")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ explain_flag $ trace_arg)
+      $ explain_flag $ prune_flag $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -254,12 +279,13 @@ let table1_cmd =
     Term.(const run $ const ())
 
 let table2_cmd =
-  let run seed max_checks trace =
+  let run seed max_checks prune trace =
     Format.printf "%a@." Tables.print_table2
-      (with_trace trace @@ fun () -> Tables.run_table2 ~seed ~max_checks ())
+      (with_trace trace @@ fun () ->
+       Tables.run_table2 ~seed ~max_checks ~prune_dominated:prune ())
   in
   Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 (solution times)")
-    Term.(const run $ seed_arg $ max_checks_arg $ trace_arg)
+    Term.(const run $ seed_arg $ max_checks_arg $ prune_flag $ trace_arg)
 
 let fig4_cmd =
   let run seed max_checks =
@@ -450,6 +476,115 @@ let analyze_cmd =
       $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* locality                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let locality_json_flag =
+  let doc =
+    "Emit one memlayout-locality/1 JSON document on stdout instead of text."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let check_flag =
+  let doc =
+    "Cross-check the static estimate against the cache simulator \
+     (suite workloads are checked at their small simulation sizes); a \
+     divergence beyond the threshold is an error-severity diagnostic."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let threshold_arg =
+  let doc = "Relative-error threshold for --check." in
+  Arg.(
+    value
+    & opt float Costcheck.default_threshold
+    & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+
+let locality_cmd =
+  let run files suite workload json check threshold trace =
+    (* (name, displayed program, program --check simulates) — suite
+       workloads are displayed at paper sizes but checked at their small
+       simulation sizes, where ground truth is affordable. *)
+    let suite_names =
+      if suite then workload_names
+      else match workload with Some w -> [ w ] | None -> []
+    in
+    let of_suite name =
+      let spec = Suite.by_name name in
+      (name, spec.Spec.program, spec.Spec.sim_program)
+    in
+    let of_file file =
+      match Parser.parse_file file with
+      | exception Parser.Error (msg, line, col) ->
+        Format.eprintf "%s:%d:%d: %s@." file line col msg;
+        exit 2
+      | prog -> (file, prog, prog)
+    in
+    let targets = List.map of_file files @ List.map of_suite suite_names in
+    if targets = [] then begin
+      Printf.eprintf
+        "layoutopt: locality needs something to analyze (FILE arguments, \
+         --suite, or -w NAME)\n";
+      exit 2
+    end;
+    let code =
+      with_trace trace @@ fun () ->
+      let reports =
+        List.map (fun (_, prog, _) -> Locality.analyze prog) targets
+      in
+      let checked =
+        if check then
+          Some
+            (Costcheck.run ~threshold
+               (List.map
+                  (fun (name, _, sim) ->
+                    {
+                      Costcheck.ct_name = name;
+                      ct_program = sim;
+                      ct_layouts = (fun _ -> None);
+                    })
+                  targets))
+        else None
+      in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                (("schema", Json.Str "memlayout-locality/1")
+                :: ("targets", Json.Arr (List.map Locality.to_json reports))
+                :: (match checked with
+                   | Some r -> [ ("costcheck", Costcheck.to_json r) ]
+                   | None -> []))))
+      else begin
+        List.iteri
+          (fun i r ->
+            if i > 0 then Format.printf "@.";
+            Format.printf "%a@." Locality.pp r)
+          reports;
+        match checked with
+        | Some r -> Format.printf "@.%a@." Costcheck.pp r
+        | None -> ()
+      end;
+      match checked with
+      | Some r -> Diagnostic.exit_code r.Costcheck.cr_diagnostics
+      | None -> 0
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "locality"
+       ~doc:
+         "Static locality analysis: reuse vectors and a closed-form L1 \
+          miss estimate per nest, computed from the compiled affine \
+          address forms without walking an address stream.  With \
+          --check, cross-validates the estimate against the cache \
+          simulator and exits 1 on divergence beyond the threshold; 2 \
+          on usage errors.")
+    Term.(
+      const run $ files_pos_arg $ suite_flag $ workload_opt_arg
+      $ locality_json_flag $ check_flag $ threshold_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* trace-summary                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -486,18 +621,21 @@ let all_cmd =
 
 let main_cmd =
   let doc = "constraint-network based memory layout optimization (DATE'05)" in
+  (* Bare [layoutopt] renders the manual (which lists every subcommand)
+     instead of cmdliner's "required COMMAND is missing" usage error. *)
   Cmd.group
+    ~default:Term.(ret (const (`Help (`Pager, None))))
     (Cmd.info "layoutopt" ~version:"1.0.0" ~doc)
     [ show_cmd; solve_cmd; simulate_cmd; optimize_file_cmd; lint_cmd;
-      analyze_cmd; table1_cmd; table2_cmd; fig4_cmd; table3_cmd;
-      ablation_cmd; all_cmd; trace_summary_cmd ]
+      analyze_cmd; locality_cmd; table1_cmd; table2_cmd; fig4_cmd;
+      table3_cmd; ablation_cmd; all_cmd; trace_summary_cmd ]
 
 (* An unknown subcommand must die exactly like an unknown scheme does: a
    single-line error naming the alternatives, exit 2 — not cmdliner's
    multi-line usage dump with its own exit code. *)
 let subcommand_names =
   [ "show"; "solve"; "simulate"; "optimize-file"; "lint"; "analyze";
-    "table1"; "table2"; "fig4"; "table3"; "ablation"; "all";
+    "locality"; "table1"; "table2"; "fig4"; "table3"; "ablation"; "all";
     "trace-summary" ]
 
 let () =
@@ -513,4 +651,20 @@ let () =
          (String.concat ", " subcommand_names);
        exit 2
      end);
-  exit (Cmd.eval main_cmd)
+  (* Same contract for every other usage error (unknown flags, missing
+     arguments): cmdliner would dump multi-line usage and exit 124 —
+     capture its stderr and keep only the one-line error, exit 2. *)
+  let err_buf = Buffer.create 256 in
+  let err_ppf = Format.formatter_of_buffer err_buf in
+  let code = Cmd.eval ~err:err_ppf main_cmd in
+  Format.pp_print_flush err_ppf ();
+  if code = Cmd.Exit.cli_error then begin
+    (match String.split_on_char '\n' (Buffer.contents err_buf) with
+    | first :: _ when String.trim first <> "" -> prerr_endline first
+    | _ -> prerr_endline "layoutopt: usage error");
+    exit 2
+  end
+  else begin
+    prerr_string (Buffer.contents err_buf);
+    exit code
+  end

@@ -21,14 +21,22 @@ let compare_severity a b = Int.compare (rank a) (rank b)
 let is_error d = d.severity = Error
 let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
 
+(* A total order so rendered reports are byte-deterministic run to run:
+   severity first (errors lead), then subject, code and finally the
+   message text as tiebreak.  The enclosing file/target is already the
+   CLI's grouping key, so subject-before-code keeps one nest's or
+   array's findings adjacent. *)
 let sort ds =
   List.stable_sort
     (fun a b ->
       let c = compare_severity b.severity a.severity in
       if c <> 0 then c
       else
-        let c = String.compare a.code b.code in
-        if c <> 0 then c else String.compare a.subject b.subject)
+        let c = String.compare a.subject b.subject in
+        if c <> 0 then c
+        else
+          let c = String.compare a.code b.code in
+          if c <> 0 then c else String.compare a.message b.message)
     ds
 
 let exit_code ds = if List.exists is_error ds then 1 else 0

@@ -30,8 +30,9 @@ val is_error : t -> bool
 val count : severity -> t list -> int
 
 val sort : t list -> t list
-(** Most severe first; within a severity, by code then subject
-    (stable). *)
+(** Most severe first; within a severity, by subject, then code, then
+    message — a total order, so two runs over the same inputs render
+    byte-identical reports (unit-enforced in [test/test_analysis.ml]). *)
 
 val exit_code : t list -> int
 (** The CI contract: [1] when any [Error]-severity diagnostic is

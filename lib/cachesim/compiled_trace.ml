@@ -63,7 +63,24 @@ type compiled_nest = {
   deltas : int array array; (* deltas.(level).(access): byte increment *)
 }
 
-type t = { nests : compiled_nest array; footprint : int; trips : int }
+type t = {
+  nests : compiled_nest array;
+  footprint : int;
+  trips : int;
+  skel : skeleton; (* kept so the affine forms stay inspectable *)
+}
+
+type access_form = {
+  form_array : string;
+  form_addr0 : int; (* byte address at the nest's lower corner *)
+  form_deltas : int array; (* per level, outermost first *)
+}
+
+type nest_form = {
+  form_nest : string;
+  form_counts : int array; (* per-level trip count, outermost first *)
+  form_accesses : access_form array;
+}
 
 let instantiate skel ~layouts =
   Trace.with_span ~cat:"cachesim" "compile-trace" @@ fun () ->
@@ -104,12 +121,39 @@ let instantiate skel ~layouts =
         { counts = sn.sn_counts; addr0; deltas })
       skel.sk_nests
   in
-  { nests; footprint = Address_map.footprint_bytes amap; trips = skel.sk_trips }
+  {
+    nests;
+    footprint = Address_map.footprint_bytes amap;
+    trips = skel.sk_trips;
+    skel;
+  }
 
 let compile prog ~layouts = instantiate (skeleton prog) ~layouts
 
 let footprint_bytes t = t.footprint
 let trip_count t = t.trips
+
+let forms t =
+  let prog_nests = Program.nests t.skel.sk_prog in
+  Array.mapi
+    (fun i cn ->
+      let sn = t.skel.sk_nests.(i) in
+      {
+        form_nest = Loop_nest.name prog_nests.(i);
+        form_counts = Array.copy cn.counts;
+        form_accesses =
+          Array.init
+            (Array.length sn.sn_accesses)
+            (fun k ->
+              {
+                form_array = sn.sn_accesses.(k).sa_name;
+                form_addr0 = cn.addr0.(k);
+                form_deltas =
+                  Array.init (Array.length cn.counts) (fun l ->
+                      cn.deltas.(l).(k));
+              });
+      })
+    t.nests
 
 (* ------------------------------------------------------------------ *)
 (* Flattened two-level hierarchy                                        *)

@@ -45,6 +45,29 @@ val footprint_bytes : t -> int
 val trip_count : t -> int
 (** Total loop iterations the trace executes (statically known). *)
 
+type access_form = {
+  form_array : string;  (** array the access reads or writes *)
+  form_addr0 : int;  (** byte address at the nest's lower corner *)
+  form_deltas : int array;
+      (** per-level byte increment, outermost first: the access touches
+          [form_addr0 + sum_l form_deltas.(l) * k_l] for
+          [0 <= k_l < form_counts.(l)] *)
+}
+
+type nest_form = {
+  form_nest : string;
+  form_counts : int array;  (** per-level trip count, outermost first *)
+  form_accesses : access_form array;
+}
+
+val forms : t -> nest_form array
+(** The compiled affine address forms, one per nest in program order.
+    This is the static view the locality analyzer
+    ({!Mlo_analysis.Locality}) consumes: every simulated address is
+    described exactly by these lattices, so reuse distances and line
+    counts can be derived without walking the stream.  Fresh arrays —
+    safe to mutate. *)
+
 val simulate : ?config:Hierarchy.config -> t -> Hierarchy.counters
 (** Run the compiled trace on a cold hierarchy and return its counters.
     [config] defaults to {!Hierarchy.paper_config}. *)

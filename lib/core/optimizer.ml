@@ -22,6 +22,7 @@ type solution = {
   restructured : Program.t;
   solver_stats : Stats.t option;
   heuristic_evaluations : int option;
+  pruned_values : Mlo_netgen.Prune.info option;
   elapsed_s : float;
 }
 
@@ -41,7 +42,7 @@ let scheme_label = function
   | Enhanced_ac _ -> "enhanced-ac"
   | Custom _ -> "custom"
 
-let optimize ?candidates ?max_checks scheme prog =
+let optimize ?candidates ?max_checks ?(prune_dominated = false) scheme prog =
   Trace.with_span ~cat:"optimizer" "optimize"
     ~args:
       [
@@ -66,12 +67,19 @@ let optimize ?candidates ?max_checks scheme prog =
       restructured;
       solver_stats = None;
       heuristic_evaluations = Some r.Propagation.evaluations;
+      pruned_values = None;
       elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
     }
   | Some config ->
     let build =
       Trace.with_span ~cat:"optimizer" "build-network" (fun () ->
           Build.build ?candidates prog)
+    in
+    let build, prune_info =
+      if prune_dominated then
+        let b, info = Mlo_netgen.Prune.apply build in
+        (b, Some info)
+      else (build, None)
     in
     (* Component-wise search: independent subnetworks are solved
        separately (decision-equivalent to the whole-network solve; a
@@ -106,6 +114,7 @@ let optimize ?candidates ?max_checks scheme prog =
         restructured;
         solver_stats = Some result.Solver.stats;
         heuristic_evaluations = None;
+        pruned_values = prune_info;
         elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
       })
 

@@ -25,6 +25,9 @@ type solution = {
       (** search-effort counters ([None] for [Heuristic]) *)
   heuristic_evaluations : int option;
       (** combinations scored ([Some] only for [Heuristic]) *)
+  pruned_values : Mlo_netgen.Prune.info option;
+      (** dominance-pruning counts ([Some] only when [optimize] ran with
+          [~prune_dominated:true] and a network scheme) *)
   elapsed_s : float;  (** end-to-end solution time *)
 }
 
@@ -39,11 +42,15 @@ val scheme_label : scheme -> string
 val optimize :
   ?candidates:(string -> Mlo_layout.Layout.t list) ->
   ?max_checks:int ->
+  ?prune_dominated:bool ->
   scheme ->
   Mlo_ir.Program.t ->
   solution
 (** Runs the full pipeline.  [candidates] enriches network domains (see
-    {!Mlo_netgen.Build.build}); [max_checks] bounds solver effort. *)
+    {!Mlo_netgen.Build.build}); [max_checks] bounds solver effort;
+    [prune_dominated] (default [false]) drops dominated layout values
+    from every domain before solving ({!Mlo_netgen.Prune.apply} —
+    satisfiability-preserving, ignored by [Heuristic]). *)
 
 val lookup : solution -> string -> Mlo_layout.Layout.t option
 

@@ -202,6 +202,55 @@ let induced t vars =
     t.cons;
   sub
 
+(* Value-level restriction: keep only the flagged values of every
+   domain (order preserved) and re-index the relations.  A constraint
+   whose allowed pairs are all dropped survives as an empty relation
+   (allows nothing), mirroring [induced].  Sound preprocessing —
+   e.g. dominance pruning in Mlo_netgen — removes only values whose
+   remaining supports are covered by a kept value, so satisfiability is
+   unchanged. *)
+let restrict_domains t keep =
+  if Array.length keep <> num_vars t then
+    invalid_arg "Network.restrict_domains: mask length differs from variables";
+  let maps =
+    Array.mapi
+      (fun i k ->
+        if Array.length k <> Array.length t.domains.(i) then
+          invalid_arg "Network.restrict_domains: mask/domain length mismatch";
+        let idx = ref [] in
+        Array.iteri (fun v b -> if b then idx := v :: !idx) k;
+        let idx = Array.of_list (List.rev !idx) in
+        if Array.length idx = 0 then
+          invalid_arg "Network.restrict_domains: mask empties a domain";
+        idx)
+      keep
+  in
+  let sub =
+    create ~names:t.names
+      ~domains:
+        (Array.mapi (fun i idx -> Array.map (fun v -> t.domains.(i).(v)) idx) maps)
+  in
+  let inv =
+    Array.mapi
+      (fun i idx ->
+        let m = Array.make (Array.length t.domains.(i)) (-1) in
+        Array.iteri (fun nv ov -> m.(ov) <- nv) idx;
+        m)
+      maps
+  in
+  Hashtbl.iter
+    (fun (i, j) rel ->
+      let pairs = ref [] in
+      for vi = 0 to Array.length t.domains.(i) - 1 do
+        for vj = 0 to Array.length t.domains.(j) - 1 do
+          if inv.(i).(vi) >= 0 && inv.(j).(vj) >= 0 && Relation.mem rel vi vj
+          then pairs := (inv.(i).(vi), inv.(j).(vj)) :: !pairs
+        done
+      done;
+      add_allowed sub i j !pairs)
+    t.cons;
+  sub
+
 let pp pp_value ppf t =
   Format.fprintf ppf "@[<v>network: %d variables, %d constraints@," (num_vars t)
     (num_constraints t);

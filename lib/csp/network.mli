@@ -88,6 +88,18 @@ val induced : 'a t -> int array -> 'a t
     nothing are preserved as such.  Raises [Invalid_argument] on a
     duplicate or out-of-range variable. *)
 
+val restrict_domains : 'a t -> bool array array -> 'a t
+(** [restrict_domains t keep] is a fresh network with the same variables
+    but only the values [v] of variable [i] with [keep.(i).(v)], order
+    preserved, and every relation re-indexed onto the surviving values.
+    Constraints whose allowed pairs all vanish are preserved as empty
+    relations (they allow nothing).  This is the substrate of sound
+    domain preprocessing (dominance pruning in [Mlo_netgen]): removing a
+    value whose supports in every constraint are a subset of a kept
+    value's cannot change satisfiability.  Raises [Invalid_argument] if
+    a mask's shape disagrees with its domain or a mask would empty a
+    domain. *)
+
 val map_values : ('a -> 'b) -> 'a t -> 'b t
 (** Same structure with converted domain values. *)
 

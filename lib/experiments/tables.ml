@@ -67,6 +67,7 @@ type table2_row = {
   heuristic : effort;
   base : effort;
   enhanced : effort;
+  t2_pruned : int;
   paper : Spec.solution_times;
 }
 
@@ -78,11 +79,18 @@ let solve_effort config net =
     capped = r.Solver.outcome = Solver.Aborted;
   }
 
-let run_table2 ?(seed = 1) ?(max_checks = default_max_checks) () =
+let run_table2 ?(seed = 1) ?(max_checks = default_max_checks)
+    ?(prune_dominated = false) () =
   List.map
     (fun spec ->
       row_span "table2" spec.Spec.name @@ fun () ->
       let build = Spec.extract spec in
+      let build, pruned =
+        if prune_dominated then
+          let b, info = Mlo_netgen.Prune.apply build in
+          (b, Mlo_netgen.Prune.total info)
+        else (build, 0)
+      in
       let net = build.Build.network in
       let h = Propagation.optimize spec.Spec.program in
       {
@@ -95,6 +103,7 @@ let run_table2 ?(seed = 1) ?(max_checks = default_max_checks) () =
           };
         base = solve_effort (Schemes.base ~seed ~max_checks ()) net;
         enhanced = solve_effort (Schemes.enhanced ~seed ~max_checks ()) net;
+        t2_pruned = pruned;
         paper = spec.Spec.paper_solution;
       })
     (Suite.all ())
@@ -111,9 +120,12 @@ let print_table2 ppf rows =
     "Benchmark" "Heuristic" "Base" "Enhanced";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-10s | %a | %a | %a | %.2f / %.2f / %.2f@,"
+      Format.fprintf ppf "%-10s | %a | %a | %a | %.2f / %.2f / %.2f%s@,"
         r.t2_name pp_effort r.heuristic pp_effort r.base pp_effort r.enhanced
-        r.paper.Spec.heuristic_s r.paper.Spec.base_s r.paper.Spec.enhanced_s)
+        r.paper.Spec.heuristic_s r.paper.Spec.base_s r.paper.Spec.enhanced_s
+        (if r.t2_pruned > 0 then
+           Printf.sprintf " | pruned %d" r.t2_pruned
+         else ""))
     rows;
   Format.fprintf ppf "@]"
 

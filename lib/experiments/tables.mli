@@ -34,12 +34,18 @@ type table2_row = {
   heuristic : effort;
   base : effort;
   enhanced : effort;
+  t2_pruned : int;
+      (** values removed by dominance pruning (0 unless requested) *)
   paper : Mlo_workloads.Spec.solution_times;
 }
 
-val run_table2 : ?seed:int -> ?max_checks:int -> unit -> table2_row list
+val run_table2 :
+  ?seed:int -> ?max_checks:int -> ?prune_dominated:bool -> unit -> table2_row list
 (** [max_checks] (default [2_000_000_000]) bounds the base scheme on
-    networks where random chronological backtracking degenerates. *)
+    networks where random chronological backtracking degenerates.
+    [prune_dominated] (default [false]) applies
+    {!Mlo_netgen.Prune.apply} to every network before the solver runs;
+    the heuristic column is unaffected (it never sees the network). *)
 
 val print_table2 : Format.formatter -> table2_row list -> unit
 

@@ -466,6 +466,66 @@ let props =
       prop_single_component_identical;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Diagnostic ordering determinism                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Diagnostic.sort is a total order on (severity, subject, code,
+   message), so any input permutation renders to the same bytes — the
+   contract every diagnostic producer (Lint, Netcheck, Costcheck) and
+   the CI output comparisons lean on. *)
+let test_diagnostic_sort_deterministic () =
+  let d sev code subject msg = Diagnostic.make sev ~code ~subject msg in
+  let diags =
+    [
+      d Diagnostic.Warning "dead-array" "B" "never read";
+      d Diagnostic.Error "out-of-bounds" "A" "row overrun";
+      d Diagnostic.Error "out-of-bounds" "A" "column overrun";
+      d Diagnostic.Warning "dead-array" "A" "never read";
+      d Diagnostic.Info "note" "C" "third";
+      d Diagnostic.Error "singular-access" "A" "rank deficient";
+    ]
+  in
+  let render ds =
+    String.concat "\n"
+      (List.map (Format.asprintf "%a" Diagnostic.pp) (Diagnostic.sort ds))
+  in
+  let reference = render diags in
+  (* every rotation and the reverse must render byte-identically *)
+  let rec rotations k l =
+    if k = 0 then []
+    else
+      match l with
+      | x :: rest -> (rest @ [ x ]) :: rotations (k - 1) (rest @ [ x ])
+      | [] -> []
+  in
+  List.iteri
+    (fun i perm ->
+      Alcotest.(check string)
+        (Printf.sprintf "permutation %d renders identically" i)
+        reference (render perm))
+    (List.rev diags :: rotations (List.length diags) diags);
+  (* and the order itself is most-severe first *)
+  match Diagnostic.sort diags with
+  | first :: _ ->
+    Alcotest.(check bool) "errors first" true
+      (first.Diagnostic.severity = Diagnostic.Error)
+  | [] -> Alcotest.fail "sort dropped diagnostics"
+
+(* End-to-end: two runs of the full analysis pipeline on the same
+   workload must produce byte-identical diagnostic renderings. *)
+let test_pipeline_output_deterministic () =
+  let render () =
+    let spec = Suite.by_name "med-im04" in
+    let lint = Lint.run spec.Spec.program in
+    let build = Spec.extract spec in
+    let name = Network.name build.Build.network in
+    let report = Mlo_analysis.Netcheck.analyze build.Build.network in
+    Format.asprintf "%a@.%a" Lint.pp lint (Netcheck.pp ~name) report
+  in
+  Alcotest.(check string) "two pipeline runs render identically" (render ())
+    (render ())
+
 let () =
   Alcotest.run "analysis"
     [
@@ -499,5 +559,12 @@ let () =
         ] );
       ("goldens", [ Alcotest.test_case "benchmark networks" `Quick
                       test_network_goldens ]);
+      ( "diagnostics",
+        [
+          Alcotest.test_case "sort renders deterministically" `Quick
+            test_diagnostic_sort_deterministic;
+          Alcotest.test_case "pipeline output is byte-stable" `Quick
+            test_pipeline_output_deterministic;
+        ] );
       ("properties", props);
     ]

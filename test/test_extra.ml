@@ -72,6 +72,7 @@ let test_explain_flags_unserved () =
       restructured = prog;
       solver_stats = None;
       heuristic_evaluations = None;
+      pruned_values = None;
       elapsed_s = 0.;
     }
   in
