@@ -153,6 +153,63 @@ let prune_tests =
       ])
     [ Lazy.force mxm; Lazy.force med ]
 
+(* The workload-scaling axis: the synthetic scale family at 10/100/1000
+   arrays (Suite.scale — component-rich networks, hundreds of nests).
+   Per size: network extraction, the component solve alone (serial and,
+   where the machine has real cores behind the domains, on 4 of them),
+   and the end-to-end extract+solve pipeline.  The serial/parallel pair
+   on the same pre-built network is the speedup column of
+   BENCH_scale.json (--scale-json). *)
+let scale_sizes = [ 10; 100; 1000 ]
+
+(* Same gate as table3/run_many above: multi-domain kernels record pure
+   spawn overhead on a box without cores to back the domains. *)
+let scale_par_domains =
+  if Domain.recommended_domain_count () >= 4 then Some 4 else None
+
+let scale_builds =
+  lazy
+    (List.map
+       (fun n ->
+         let spec = Suite.scale n in
+         (n, spec, Spec.extract spec))
+       scale_sizes)
+
+let scale_tests =
+  lazy
+    (List.concat_map
+       (fun (n, spec, build) ->
+         let net = build.Build.network in
+         [
+           Test.make
+             ~name:(Printf.sprintf "scale/extract:scale-%d" n)
+             (Staged.stage (fun () -> ignore (Spec.extract spec)));
+           Test.make
+             ~name:(Printf.sprintf "scale/solve-ser:scale-%d" n)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Solver.solve_components ~config:(Schemes.enhanced ()) net)));
+           Test.make
+             ~name:(Printf.sprintf "scale/e2e:scale-%d" n)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Solver.solve_components ~config:(Schemes.enhanced ())
+                       (Spec.extract spec).Build.network)));
+         ]
+         @
+         match scale_par_domains with
+         | None -> []
+         | Some domains ->
+           [
+             Test.make
+               ~name:(Printf.sprintf "scale/solve-par%d:scale-%d" domains n)
+               (Staged.stage (fun () ->
+                    ignore
+                      (Solver.solve_components ~config:(Schemes.enhanced ())
+                         ~domains net)));
+           ])
+       (Lazy.force scale_builds))
+
 (* Static miss estimate vs trace-driven simulation on the same
    matmul32 sweep: locality/estimate-sweep is the closed-form analyzer
    over the 8 layout assignments table3/run_many walks address by
@@ -210,7 +267,7 @@ let stats_of samples =
 let benchmark ?(filter = "") ~quota () =
   let tests =
     table1_tests @ table2_tests @ fig4_tests @ table3_tests @ prune_tests
-    @ locality_tests
+    @ locality_tests @ Lazy.force scale_tests
   in
   let tests =
     if filter = "" then tests
@@ -298,16 +355,92 @@ let write_json file rows =
   close_out oc;
   Format.printf "wrote %d kernel stats to %s@." (List.length rows) file
 
+(* Schema "memlayout-scale-bench/1": one object per scale-family size
+   with network shape (arrays/nests/components), the end-to-end and
+   per-stage percentile stats, and the serial-vs-parallel solve speedup
+   (p50 ratio on the same pre-built network).  On machines without
+   enough cores to back 4 domains the parallel kernel does not run and
+   both "solve_par" and "speedup_par" are null — recorded honestly
+   rather than timing domain-spawn overhead. *)
+let write_scale_json file rows =
+  let find kind n =
+    List.find_opt
+      (fun (name, _, _) ->
+        String.equal name (Printf.sprintf "scale/%s:scale-%d" kind n))
+      rows
+    |> Option.map (fun (_, st, _) -> st)
+  in
+  let stat_json = function
+    | Some st ->
+      Printf.sprintf
+        "{ \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"mad\": %.1f, \
+         \"samples\": %d }"
+        st.p50 st.p90 st.p99 st.mad st.samples
+    | None -> "null"
+  in
+  let par_kind =
+    Option.map (fun d -> Printf.sprintf "solve-par%d" d) scale_par_domains
+  in
+  let oc = open_out file in
+  output_string oc
+    "{\n\
+    \  \"schema\": \"memlayout-scale-bench/1\",\n\
+    \  \"clock\": \"monotonic\",\n\
+    \  \"unit\": \"ns/run\",\n";
+  Printf.fprintf oc "  \"parallel_domains\": %s,\n"
+    (match scale_par_domains with Some d -> string_of_int d | None -> "null");
+  output_string oc "  \"sizes\": {\n";
+  let sizes = Lazy.force scale_builds in
+  List.iteri
+    (fun i (n, spec, build) ->
+      let net = build.Build.network in
+      let ser = find "solve-ser" n in
+      let par = Option.map (fun k -> find k n) par_kind |> Option.join in
+      let speedup =
+        match (ser, par) with
+        | Some s, Some p when p.p50 > 0. ->
+          Printf.sprintf "%.2f" (s.p50 /. p.p50)
+        | _ -> "null"
+      in
+      Printf.fprintf oc
+        "    \"scale-%d\": {\n\
+        \      \"arrays\": %d, \"nests\": %d, \"components\": %d,\n\
+        \      \"extract\": %s,\n\
+        \      \"solve_ser\": %s,\n\
+        \      \"solve_par\": %s,\n\
+        \      \"e2e\": %s,\n\
+        \      \"speedup_par\": %s\n\
+        \    }%s\n"
+        n
+        (Array.length (Mlo_ir.Program.arrays spec.Spec.program))
+        (Array.length (Mlo_ir.Program.nests spec.Spec.program))
+        (Array.length (Mlo_csp.Network.components net))
+        (stat_json (find "extract" n))
+        (stat_json ser) (stat_json par)
+        (stat_json (find "e2e" n))
+        speedup
+        (if i = List.length sizes - 1 then "" else ",")
+    )
+    sizes;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Format.printf "wrote scale stats for %d sizes to %s@." (List.length sizes)
+    file
+
 let usage () =
   prerr_endline
-    "usage: bench [--tables | --json [FILE] | --smoke [FILTER]]\n\
+    "usage: bench [--tables | --json [FILE] | --scale-json [FILE] | --smoke \
+     [FILTER]]\n\
      \  (default)        print the paper's tables then run the micro-benchmarks\n\
      \  --tables         print the paper's tables only\n\
      \  --json [FILE]    run the micro-benchmarks and dump per-kernel medians\n\
      \                   as JSON (default FILE: BENCH_solver.json)\n\
+     \  --scale-json [FILE]  run only the scale/ group and dump per-size\n\
+     \                   percentiles and the serial-vs-parallel solve speedup\n\
+     \                   (default FILE: BENCH_scale.json)\n\
      \  --smoke [FILTER] short benchmark run, no tables (CI); FILTER, if\n\
      \                   given, runs only kernels whose name starts with it\n\
-     \                   (e.g. table3/)";
+     \                   (e.g. table3/ or scale/)";
   exit 2
 
 let () =
@@ -326,6 +459,16 @@ let () =
     let rows = benchmark ~quota:0.5 () in
     print_benchmark rows;
     write_json file rows
+  | _ :: "--scale-json" :: rest ->
+    let file =
+      match rest with
+      | [] -> "BENCH_scale.json"
+      | [ f ] -> f
+      | _ -> usage ()
+    in
+    let rows = benchmark ~filter:"scale/" ~quota:0.5 () in
+    print_benchmark rows;
+    write_scale_json file rows
   | [ _; "--smoke" ] -> print_benchmark (benchmark ~quota:0.05 ())
   | [ _; "--smoke"; filter ] ->
     print_benchmark (benchmark ~filter ~quota:0.05 ())

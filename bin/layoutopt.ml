@@ -33,15 +33,26 @@ open Cmdliner
 
 let workload_names = [ "med-im04"; "mxm"; "radar"; "shape"; "track" ]
 
+(* Workloads are named, not enumerated: besides the five Table-1 specs,
+   "scale-N" (any positive N) instantiates the synthetic scale family.
+   An unknown name dies with a single-line error naming the
+   alternatives. *)
+let spec_of_workload name =
+  match Suite.by_name name with
+  | spec -> spec
+  | exception Not_found ->
+    Printf.eprintf
+      "layoutopt: unknown workload '%s' (valid workloads: %s, scale-N)\n" name
+      (String.concat ", " workload_names);
+    exit 2
+
 let workload_arg =
   let doc =
-    Printf.sprintf "Benchmark to operate on; one of %s."
+    Printf.sprintf "Benchmark to operate on; one of %s, or scale-N (the \
+                    synthetic scale family at N arrays, e.g. scale-100)."
       (String.concat ", " workload_names)
   in
-  Arg.(
-    required
-    & opt (some (enum (List.map (fun n -> (n, n)) workload_names))) None
-    & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
 let scheme_names = [ "heuristic"; "base"; "enhanced"; "enhanced-ac" ]
 
@@ -63,6 +74,14 @@ let max_checks_arg =
 let explain_flag =
   let doc = "Print the per-nest, per-reference locality report." in
   Arg.(value & flag & info [ "explain" ] ~doc)
+
+let domains_arg =
+  let doc =
+    "Number of OCaml domains for parallel work: independent network \
+     components in 'solve', the simulation sweep in 'table3' (default \
+     there: up to 8, bounded by the machine); 1 forces serial execution."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
 (* An unknown scheme must die with a single-line error naming the
    alternatives — not an exception trace or a usage dump. *)
@@ -103,7 +122,7 @@ let with_trace file f =
 
 let show_cmd =
   let run workload =
-    let spec = Suite.by_name workload in
+    let spec = spec_of_workload workload in
     Format.printf "%a@.@.%a@." Spec.pp spec Mlo_ir.Program.pp
       spec.Spec.program;
     let build = Spec.extract spec in
@@ -141,13 +160,13 @@ let pp_pruned ppf = function
   | None -> ()
 
 let solve_cmd =
-  let run workload scheme seed max_checks explain prune trace =
-    let spec = Suite.by_name workload in
+  let run workload scheme seed max_checks explain prune domains trace =
+    let spec = spec_of_workload workload in
     let scheme = scheme_of ~seed scheme in
     match
       with_trace trace @@ fun () ->
       Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
-        ~prune_dominated:prune scheme spec.Spec.program
+        ~prune_dominated:prune ?domains scheme spec.Spec.program
     with
     | exception Optimizer.No_solution msg ->
       Format.printf "no solution: %s@." msg;
@@ -174,7 +193,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Choose memory layouts for a workload")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ explain_flag $ prune_flag $ trace_arg)
+      $ explain_flag $ prune_flag $ domains_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -189,7 +208,7 @@ let reference_flag =
 
 let simulate_cmd =
   let run workload scheme seed max_checks reference trace =
-    let spec = Suite.by_name workload in
+    let spec = spec_of_workload workload in
     let scheme = scheme_of ~seed scheme in
     let prog = spec.Spec.sim_program in
     let engine = if reference then Simulate.run_reference else Simulate.run in
@@ -295,13 +314,6 @@ let fig4_cmd =
     (Cmd.info "fig4" ~doc:"Regenerate Figure 4 (enhancement breakdown)")
     Term.(const run $ seed_arg $ max_checks_arg)
 
-let domains_arg =
-  let doc =
-    "Number of OCaml domains for the simulation sweep (default: up to 8, \
-     bounded by the machine); 1 forces a serial sweep."
-  in
-  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
-
 let table3_cmd =
   let run seed max_checks domains trace =
     Format.printf "%a@." Tables.print_table3
@@ -340,13 +352,10 @@ let suite_flag =
 
 let workload_opt_arg =
   let doc =
-    Printf.sprintf "Built-in benchmark to analyze; one of %s."
+    Printf.sprintf "Built-in benchmark to analyze; one of %s, or scale-N."
       (String.concat ", " workload_names)
   in
-  Arg.(
-    value
-    & opt (some (enum (List.map (fun n -> (n, n)) workload_names))) None
-    & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
 let json_flag =
   let doc =
@@ -360,7 +369,7 @@ let gather_targets cmd files suite workload =
     else match workload with Some w -> [ w ] | None -> []
   in
   let of_suite name =
-    let spec = Suite.by_name name in
+    let spec = spec_of_workload name in
     (name, spec.Spec.program, fun () -> Spec.extract spec)
   in
   let of_file file =
@@ -510,7 +519,7 @@ let locality_cmd =
       else match workload with Some w -> [ w ] | None -> []
     in
     let of_suite name =
-      let spec = Suite.by_name name in
+      let spec = spec_of_workload name in
       (name, spec.Spec.program, spec.Spec.sim_program)
     in
     let of_file file =

@@ -100,7 +100,18 @@ val profiler :
     touch it), minimized over the nest's dependence-legal loop orders,
     with every other array at its default layout.  This is the cost
     signal dominance pruning ({!Mlo_netgen}) compares candidate layouts
-    with. *)
+    with.
+
+    Queries are memoized: a profile is a pure function of
+    (program, geometry, array, layout), so results are cached under the
+    {e physical} identity of [prog] and shared by every profiler over
+    the same program object — re-profiling a program the process has
+    already costed (a solver service, repeated pruning passes) only pays
+    hashtable lookups.  A query derives only the nests touching
+    [array_name] (the other nests' forms cannot change).  The cache is
+    mutex-protected (queries may run on worker Domains) and entries are
+    dropped once their program is collected.  Returned arrays are
+    fresh — safe to mutate. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable per-nest/per-group table. *)

@@ -9,7 +9,11 @@ type t = { entries : (string, entry) Hashtbl.t; footprint : int }
 
 let round_up x align = (x + align - 1) / align * align
 
-let build ?(align = 64) prog ~layouts =
+type transform_cache = (string, Layout.t * Transform.t) Hashtbl.t
+
+let transform_cache () : transform_cache = Hashtbl.create 32
+
+let build ?(align = 64) ?cache prog ~layouts =
   if align <= 0 || align land (align - 1) <> 0 then
     invalid_arg "Address_map.build: align must be a positive power of two";
   let entries = Hashtbl.create 16 in
@@ -27,7 +31,18 @@ let build ?(align = 64) prog ~layouts =
           l
         | None -> if rank = 1 then Layout.trivial else Layout.row_major rank
       in
-      let transform = Transform.make layout ~extents:(Array_info.extents info) in
+      let transform =
+        let fresh () = Transform.make layout ~extents:(Array_info.extents info) in
+        match cache with
+        | None -> fresh ()
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl name with
+          | Some (l, t) when Layout.equal l layout -> t
+          | Some _ | None ->
+            let t = fresh () in
+            Hashtbl.replace tbl name (layout, t);
+            t)
+      in
       let elem_size = Array_info.elem_size info in
       let base = round_up !cursor align in
       cursor := base + (Transform.footprint_cells transform * elem_size);

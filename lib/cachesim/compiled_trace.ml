@@ -155,6 +155,59 @@ let forms t =
       })
     t.nests
 
+(* Compiled forms of a subset of the nests, without materializing the
+   whole trace: the same address map (bases shift with every footprint
+   before them, so it must cover the full program) and the same affine
+   folds as [instantiate], but run only for the requested nest indices.
+   This is the locality profiler's query shape — one array's layout
+   varies, only the nests touching it need re-deriving — and with a
+   transform cache the per-query cost is one Transform.make plus the
+   touched nests' folds instead of the whole program's. *)
+let forms_of_nests ?cache skel ~layouts ~nests:nest_idx =
+  let amap = Address_map.build ?cache skel.sk_prog ~layouts in
+  let prog_nests = Program.nests skel.sk_prog in
+  Array.map
+    (fun i ->
+      let sn = skel.sk_nests.(i) in
+      let depth = Array.length sn.sn_counts in
+      {
+        form_nest = Loop_nest.name prog_nests.(i);
+        form_counts = Array.copy sn.sn_counts;
+        form_accesses =
+          Array.map
+            (fun sa ->
+              let base = Address_map.base amap sa.sa_name in
+              let elem = Address_map.elem_size amap sa.sa_name in
+              let lin, c0 =
+                Transform.linear_map (Address_map.transform amap sa.sa_name)
+              in
+              let rank = Array.length sa.sa_offset in
+              let cell0 = ref c0 in
+              for j = 0 to rank - 1 do
+                let row = sa.sa_matrix.(j) in
+                let v = ref sa.sa_offset.(j) in
+                for l = 0 to depth - 1 do
+                  v := !v + (row.(l) * sn.sn_lows.(l))
+                done;
+                cell0 := !cell0 + (lin.(j) * !v)
+              done;
+              let deltas =
+                Array.init depth (fun l ->
+                    let d = ref 0 in
+                    for j = 0 to rank - 1 do
+                      d := !d + (lin.(j) * sa.sa_matrix.(j).(l))
+                    done;
+                    elem * !d)
+              in
+              {
+                form_array = sa.sa_name;
+                form_addr0 = base + (elem * !cell0);
+                form_deltas = deltas;
+              })
+            sn.sn_accesses;
+      })
+    nest_idx
+
 (* ------------------------------------------------------------------ *)
 (* Flattened two-level hierarchy                                        *)
 (* ------------------------------------------------------------------ *)

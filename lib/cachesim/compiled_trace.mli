@@ -60,6 +60,20 @@ type nest_form = {
   form_accesses : access_form array;
 }
 
+val forms_of_nests :
+  ?cache:Address_map.transform_cache ->
+  skeleton ->
+  layouts:(string -> Mlo_layout.Layout.t option) ->
+  nests:int array ->
+  nest_form array
+(** The compiled affine forms of just the listed nests (by program nest
+    index, result in argument order), bit-identical to the corresponding
+    entries of [forms (instantiate skel ~layouts)] — the address map
+    still covers the whole program (bases depend on every preceding
+    footprint), but only the listed nests' forms are derived.  [cache]
+    (see {!Address_map.transform_cache}) amortizes the per-array
+    transforms across many calls that vary few layouts. *)
+
 val forms : t -> nest_form array
 (** The compiled affine address forms, one per nest in program order.
     This is the static view the locality analyzer

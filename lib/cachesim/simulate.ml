@@ -52,33 +52,11 @@ let run ?config prog ~layouts =
 (* Parallel batch evaluation                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Work-stealing-free parallel for: one atomic index, [domains - 1]
-   spawned domains plus the caller.  [f] must only touch index-private
-   state (each simulation owns its hierarchy and compiled trace). *)
-let parallel_iter ~domains n f =
-  let domains = max 1 (min domains n) in
-  if domains = 1 then
-    for i = 0 to n - 1 do
-      f i
-    done
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          f i;
-          go ()
-        end
-      in
-      go ()
-    in
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned
-  end
-
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+(* The Domain pool lives in Mlo_support.Pool (shared with the
+   component-wise solver); each simulation owns its hierarchy and
+   compiled trace, so jobs are index-private as the pool requires. *)
+let parallel_iter = Mlo_support.Pool.parallel_iter
+let default_domains = Mlo_support.Pool.default_domains
 
 let collect ?config ~domains jobs =
   let n = Array.length jobs in

@@ -42,7 +42,8 @@ let scheme_label = function
   | Enhanced_ac _ -> "enhanced-ac"
   | Custom _ -> "custom"
 
-let optimize ?candidates ?max_checks ?(prune_dominated = false) scheme prog =
+let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
+    scheme prog =
   Trace.with_span ~cat:"optimizer" "optimize"
     ~args:
       [
@@ -83,8 +84,9 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) scheme prog =
     in
     (* Component-wise search: independent subnetworks are solved
        separately (decision-equivalent to the whole-network solve; a
-       single-component network takes the identical path). *)
-    let result = Solver.solve_components ~config build.Build.network in
+       single-component network takes the identical path), across
+       [domains] worker domains when more than one is requested. *)
+    let result = Solver.solve_components ~config ~domains build.Build.network in
     (match result.Solver.outcome with
     | Solver.Unsatisfiable ->
       let detail =

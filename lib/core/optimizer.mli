@@ -43,6 +43,7 @@ val optimize :
   ?candidates:(string -> Mlo_layout.Layout.t list) ->
   ?max_checks:int ->
   ?prune_dominated:bool ->
+  ?domains:int ->
   scheme ->
   Mlo_ir.Program.t ->
   solution
@@ -50,7 +51,10 @@ val optimize :
     {!Mlo_netgen.Build.build}); [max_checks] bounds solver effort;
     [prune_dominated] (default [false]) drops dominated layout values
     from every domain before solving ({!Mlo_netgen.Prune.apply} —
-    satisfiability-preserving, ignored by [Heuristic]). *)
+    satisfiability-preserving, ignored by [Heuristic]); [domains]
+    (default 1: serial) solves independent network components on that
+    many OCaml domains ({!Mlo_csp.Solver.solve_components} — outcome and
+    merged stats are identical to the serial solve). *)
 
 val lookup : solution -> string -> Mlo_layout.Layout.t option
 

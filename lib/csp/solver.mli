@@ -95,10 +95,15 @@ val solve : ?config:config -> 'a Network.t -> result
     of the same network compile once).  The returned assignment (if any)
     satisfies {!Network.verify}. *)
 
-val solve_compiled : ?config:config -> Compiled.t -> result
-(** Runs the search directly on an already-compiled view. *)
+val solve_compiled :
+  ?config:config -> ?cancel:(unit -> bool) -> Compiled.t -> result
+(** Runs the search directly on an already-compiled view.  [cancel] is a
+    cooperative cancellation hook polled every 256 consistency checks;
+    when it returns [true] the solve finishes with [Aborted] (partial
+    stats intact).  Used by the parallel component solver to cancel
+    sibling Domains once the shared check budget is exhausted. *)
 
-val solve_components : ?config:config -> 'a Network.t -> result
+val solve_components : ?config:config -> ?domains:int -> 'a Network.t -> result
 (** Component-wise search: solves each connected component of the
     constraint graph ({!Network.components}) as an independent
     subnetwork and merges the per-component solutions.  Variables in
@@ -110,7 +115,17 @@ val solve_components : ?config:config -> 'a Network.t -> result
     path: outcome and counters are identical.  [config.max_checks] is a
     global budget consumed across components; stats are summed
     (histograms are merged onto whole-network variable indices and
-    per-component depths). *)
+    per-component depths).
+
+    [domains] (default 1) spreads the per-component solves over a Domain
+    pool ({!Mlo_support.Pool}); components are independent, so workers
+    share nothing but the atomic budget counter.  Results are merged in
+    component order with the serial stopping rule, so outcome and merged
+    stats are identical to the serial path whenever the check budget
+    does not bite — and always identical when [max_checks] is [None].
+    Under a budget, the first Domain to exhaust it cancels the siblings
+    (each component starts from what the completed ones have left, so
+    the total overrun is bounded by the number of in-flight solves). *)
 
 val solve_values : ?config:config -> 'a Network.t -> ('a array * result) option
 (** Convenience: like {!solve} but materializes the domain values of the

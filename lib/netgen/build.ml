@@ -52,7 +52,7 @@ let collect_domains prog demands candidates =
     demands;
   table
 
-let build_internal ?(relax = false) ?(candidates = fun _ -> []) prog =
+let build_internal ?(relax = false) ?(candidates = fun _ -> []) ~make_sink prog =
   let demands = nest_demands prog in
   let domains_tbl = collect_domains prog demands candidates in
   let arrays = Program.arrays prog in
@@ -102,59 +102,58 @@ let build_internal ?(relax = false) ?(candidates = fun _ -> []) prog =
     let demanded = Option.value ~default:[] (Hashtbl.find_opt meaningful name) in
     if List.mem 0 demanded then demanded else 0 :: demanded
   in
-  (* per-nest sets of proposed pairs (concrete and wildcarded), keyed for
-     idempotence, kept per nest for weighting *)
-  let nest_pairs =
-    List.map
-      (fun (nest, touched, per_variant) ->
-        let pairs = Hashtbl.create 64 in
-        let record ia va ib vb =
-          let k = if ia < ib then (ia, va, ib, vb) else (ib, vb, ia, va) in
-          Hashtbl.replace pairs k ()
-        in
-        List.iter
-          (fun layouts ->
-            let demand name = List.assoc_opt name layouts in
-            let rec each_pair = function
-              | [] -> ()
-              | na :: rest ->
-                List.iter
-                  (fun nb ->
-                    let ia = var_of na and ib = var_of nb in
-                    match (demand na, demand nb) with
-                    | None, None ->
-                      (* this restructuring is satisfied by any meaningful
-                         layout combination of the pair *)
-                      List.iter
-                        (fun va ->
-                          List.iter
-                            (fun vb -> record ia va ib vb)
-                            (meaningful_indices nb))
-                        (meaningful_indices na)
-                    | Some la, Some lb ->
-                      record ia (layout_index na la) ib (layout_index nb lb)
-                    | Some la, None ->
-                      let va = layout_index na la in
-                      List.iter (fun vb -> record ia va ib vb)
-                        (meaningful_indices nb)
-                    | None, Some lb ->
-                      let vb = layout_index nb lb in
-                      List.iter (fun va -> record ia va ib vb)
-                        (meaningful_indices na))
-                  rest;
-                each_pair rest
-            in
-            each_pair touched)
-          per_variant;
-        (nest, pairs))
-      demands
-  in
+  (* Streaming pair insertion: one nest's proposed pairs (concrete and
+     wildcarded) at a time, keyed for idempotence, added to the network
+     and handed to [sink] (the weighting hook) before the next nest's
+     set is built — peak transient memory is the largest single nest's
+     pair set, not the whole program's. *)
+  let sink = make_sink network in
   List.iter
-    (fun (_nest, pairs) ->
+    (fun (nest, touched, per_variant) ->
+      let pairs = Hashtbl.create 64 in
+      let record ia va ib vb =
+        let k = if ia < ib then (ia, va, ib, vb) else (ib, vb, ia, va) in
+        Hashtbl.replace pairs k ()
+      in
+      List.iter
+        (fun layouts ->
+          let demand name = List.assoc_opt name layouts in
+          let rec each_pair = function
+            | [] -> ()
+            | na :: rest ->
+              List.iter
+                (fun nb ->
+                  let ia = var_of na and ib = var_of nb in
+                  match (demand na, demand nb) with
+                  | None, None ->
+                    (* this restructuring is satisfied by any meaningful
+                       layout combination of the pair *)
+                    List.iter
+                      (fun va ->
+                        List.iter
+                          (fun vb -> record ia va ib vb)
+                          (meaningful_indices nb))
+                      (meaningful_indices na)
+                  | Some la, Some lb ->
+                    record ia (layout_index na la) ib (layout_index nb lb)
+                  | Some la, None ->
+                    let va = layout_index na la in
+                    List.iter (fun vb -> record ia va ib vb)
+                      (meaningful_indices nb)
+                  | None, Some lb ->
+                    let vb = layout_index nb lb in
+                    List.iter (fun va -> record ia va ib vb)
+                      (meaningful_indices na))
+                rest;
+              each_pair rest
+          in
+          each_pair touched)
+        per_variant;
       Hashtbl.iter
         (fun (i, vi, j, vj) () -> Network.add_allowed network i j [ (vi, vj) ])
-        pairs)
-    nest_pairs;
+        pairs;
+      sink nest pairs)
+    demands;
   if relax then
     List.iter
       (fun (i, j) ->
@@ -166,24 +165,29 @@ let build_internal ?(relax = false) ?(candidates = fun _ -> []) prog =
         in
         Network.add_allowed network i j [ (def names.(i), def names.(j)) ])
       (Network.constraint_pairs network);
-  ({ network; program = prog; constrained_arrays = names }, nest_pairs)
+  { network; program = prog; constrained_arrays = names }
+
+let no_sink _network _nest _pairs = ()
 
 let build ?relax ?candidates prog =
   Mlo_obs.Trace.with_span ~cat:"netgen" "build"
     ~args:[ ("program", Mlo_obs.Trace.Str (Program.name prog)) ]
-  @@ fun () -> fst (build_internal ?relax ?candidates prog)
+  @@ fun () ->
+  build_internal ?relax ?candidates ~make_sink:(fun net -> no_sink net) prog
 
 let weighted ?relax ?candidates prog =
-  let t, nest_pairs = build_internal ?relax ?candidates prog in
-  let w = Weighted.create t.network in
-  List.iter
-    (fun (nest, pairs) ->
+  let w = ref None in
+  let make_sink network =
+    let ww = Weighted.create network in
+    w := Some ww;
+    fun nest pairs ->
       let cost = float_of_int (Cost.nest_cost nest) in
       Hashtbl.iter
-        (fun (i, vi, j, vj) () -> Weighted.add_weight w i vi j vj cost)
-        pairs)
-    nest_pairs;
-  (t, w)
+        (fun (i, vi, j, vj) () -> Weighted.add_weight ww i vi j vj cost)
+        pairs
+  in
+  let t = build_internal ?relax ?candidates ~make_sink prog in
+  (t, Option.get !w)
 
 let var_of_array t name =
   let rec go i =
@@ -208,3 +212,105 @@ let components t =
   Array.map
     (Array.map (fun v -> t.constrained_arrays.(v)))
     (Network.components t.network)
+
+(* Sharded build: partition the arrays by the "co-referenced in some
+   nest" relation (union-find over the program's nests), materialize one
+   sub-program per part, and build each part's network independently.
+   A nest's pairs only ever connect co-referenced arrays, and an array's
+   domain (and its layout order within it) depends only on the nests
+   touching it plus [candidates], so the shard networks are exactly the
+   whole network's constraint-graph components with identical domains
+   and constraints — but only one shard's network and transient pair
+   tables are live at a time, so peak memory follows the largest
+   component instead of the whole program. *)
+let shards ?relax ?candidates prog =
+  Mlo_obs.Trace.with_span ~cat:"netgen" "build-shards"
+    ~args:[ ("program", Mlo_obs.Trace.Str (Program.name prog)) ]
+  @@ fun () ->
+  let arrays = Program.arrays prog in
+  let n = Array.length arrays in
+  let index = Hashtbl.create n in
+  Array.iteri
+    (fun i info -> Hashtbl.replace index (Array_info.name info) i)
+    arrays;
+  (* union-find, smaller index wins: each class root ends up being the
+     class's first-declared array, so shards come out in declaration
+     order of their leading array *)
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then
+      if ri < rj then parent.(rj) <- ri else parent.(ri) <- rj
+  in
+  Array.iter
+    (fun nest ->
+      match Loop_nest.arrays_touched nest with
+      | [] -> ()
+      | a0 :: rest ->
+        let i0 = Hashtbl.find index a0 in
+        List.iter (fun a -> union i0 (Hashtbl.find index a)) rest)
+    (Program.nests prog);
+  let members = Hashtbl.create 16 in
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    if not (Hashtbl.mem members r) then roots := r :: !roots;
+    Hashtbl.replace members r
+      (arrays.(i) :: Option.value ~default:[] (Hashtbl.find_opt members r))
+  done;
+  let nests_of part =
+    let in_part a = List.exists (fun info -> Array_info.name info = a) part in
+    Array.to_list (Program.nests prog)
+    |> List.filter (fun nest ->
+           match Loop_nest.arrays_touched nest with
+           | [] -> false
+           | a :: _ -> in_part a)
+  in
+  (* An array referenced by no nest is a singleton part with no nests to
+     induce a sub-program from; its variable is free in the whole
+     network, so build its one-variable constraint-free shard directly,
+     with the same domain rule [collect_domains] applies to an array no
+     restructuring demands anything of. *)
+  let free_shard info =
+    let rank = Array_info.rank info in
+    let name = Array_info.name info in
+    let default = if rank = 1 then Layout.trivial else Layout.row_major rank in
+    let extra =
+      match candidates with
+      | None -> []
+      | Some c -> List.filter (fun l -> Layout.rank l = rank) (c name)
+    in
+    let domain = List.fold_left (fun acc l -> add_unique l acc) [ default ] extra in
+    {
+      network =
+        Network.create ~names:[| name |]
+          ~domains:[| Array.of_list domain |];
+      program = prog;
+      constrained_arrays = [| name |];
+    }
+  in
+  Array.of_list
+    (List.mapi
+       (fun k r ->
+         let part = Hashtbl.find members r in
+         match nests_of part with
+         | [] ->
+           (* union-find only merges co-referenced arrays, so a nest-less
+              part is exactly one unreferenced array *)
+           free_shard (List.hd part)
+         | nests ->
+           let sub =
+             Program.make
+               ~name:(Printf.sprintf "%s#%d" (Program.name prog) k)
+               part nests
+           in
+           build ?relax ?candidates sub)
+       !roots)

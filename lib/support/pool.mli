@@ -1,0 +1,21 @@
+(** Shared Domain worker pool.
+
+    One atomic work index, [domains - 1] spawned domains plus the
+    caller: the cheapest complete pool for embarrassingly parallel
+    index-addressed work.  Both the trace-simulation sweep
+    ({!Mlo_cachesim.Simulate.run_many}) and the component-wise solver
+    ({!Mlo_csp.Solver.solve_components}) drive their fan-out through
+    this module, so the spawn/join discipline lives in exactly one
+    place. *)
+
+val parallel_iter : domains:int -> int -> (int -> unit) -> unit
+(** [parallel_iter ~domains n f] runs [f 0 .. f (n-1)], each exactly
+    once, distributing indices over [min domains n] domains (the caller
+    counts as one).  [domains <= 1] degenerates to a plain serial loop —
+    no domain is spawned.  [f] must only touch index-private or
+    atomically-shared state; exceptions escaping [f] on a spawned domain
+    are re-raised at the join. *)
+
+val default_domains : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())]: enough to win on
+    desktop core counts without oversubscribing CI runners. *)

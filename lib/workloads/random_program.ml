@@ -21,6 +21,7 @@ type params = {
   skew_percent : int;
   temporal_percent : int;
   elem_size : int;
+  group_size : int;
 }
 
 let default =
@@ -37,6 +38,33 @@ let default =
     skew_percent = 30;
     temporal_percent = 30;
     elem_size = 4;
+    group_size = 0;
+  }
+
+(* The scale family: component-rich programs from tens to thousands of
+   arrays.  Grouping arrays into pools of [group_size] makes the
+   extracted network decompose into at least [num_arrays / group_size]
+   connected components (arrays of different groups never share a nest),
+   which is the shape whole-program inputs actually have — and the shape
+   the parallel component solver feeds on.  Nest count grows at 2/5 the
+   array count so per-group constraint density stays near the paper's
+   benchmarks; [sim_extent] is halved to keep trace-driven validation of
+   the big instances affordable. *)
+let scale ?(seed = 11) ?(group_size = 8) num_arrays =
+  {
+    name = Printf.sprintf "scale-%d" num_arrays;
+    seed = seed + num_arrays;
+    num_arrays;
+    num_nests = max 8 (2 * num_arrays / 5);
+    extent = 64;
+    sim_extent = 32;
+    min_arrays_per_nest = 2;
+    max_arrays_per_nest = 4;
+    conflict_percent = 30;
+    skew_percent = 60;
+    temporal_percent = 20;
+    elem_size = 4;
+    group_size;
   }
 
 (* The 2-D layout palette of the paper's examples: row-major,
@@ -115,9 +143,22 @@ let plan p =
       p.min_arrays_per_nest
       + Rng.int rng (p.max_arrays_per_nest - p.min_arrays_per_nest + 1)
     in
-    let k = min k p.num_arrays in
-    let perm = Rng.shuffled_init rng p.num_arrays in
-    Array.to_list (Array.sub perm 0 k)
+    if p.group_size <= 0 || p.group_size >= p.num_arrays then begin
+      let k = min k p.num_arrays in
+      let perm = Rng.shuffled_init rng p.num_arrays in
+      Array.to_list (Array.sub perm 0 k)
+    end
+    else begin
+      (* grouped: a nest only ever references arrays of one group, so
+         groups are independent components of the extracted network *)
+      let ngroups = (p.num_arrays + p.group_size - 1) / p.group_size in
+      let g = Rng.int rng ngroups in
+      let lo = g * p.group_size in
+      let size = min p.group_size (p.num_arrays - lo) in
+      let k = min k size in
+      let perm = Rng.shuffled_init rng size in
+      List.init k (fun i -> lo + perm.(i))
+    end
   in
   let make_refs arrays_chosen ~conflicting ~allow_temporal =
     List.mapi

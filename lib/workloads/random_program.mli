@@ -47,10 +47,25 @@ type params = {
           (any layout of that array is allowed with the partner's
           demand) — looser, paper-sized constraints *)
   elem_size : int;
+  group_size : int;
+      (** when positive, arrays are partitioned into pools of this size
+          and every nest draws all its references from one pool — the
+          extracted network then decomposes into at least
+          [num_arrays / group_size] independent components.  [0] (the
+          default) keeps the classic behaviour: any nest may reference
+          any array. *)
 }
 
 val default : params
 (** A small, balanced configuration (8 arrays, 12 nests, 64x64 arrays). *)
+
+val scale : ?seed:int -> ?group_size:int -> int -> params
+(** [scale n] is the scale-family configuration at [n] arrays
+    ("scale-{n}"): nests at [2n/5] (at least 8), pools of [group_size]
+    (default 8) arrays so the network splits into [~n/8] components,
+    paper-like conflict/skew/temporal rates, and a halved simulation
+    extent.  Designed to stress end-to-end throughput at 10/100/1000
+    arrays; see DESIGN.md Section 13. *)
 
 val generate : params -> Mlo_ir.Program.t
 (** The program at full size. *)

@@ -76,6 +76,7 @@ let med_im04 () =
       skew_percent = 55;
       temporal_percent = 30;
       elem_size = 4;
+      group_size = 0;
     }
     ~description:"medical image reconstruction" ~domain:258 ~data_kb:825.55
     ~solution:(7.14, 97.34, 12.22)
@@ -96,6 +97,7 @@ let radar () =
       skew_percent = 75;
       temporal_percent = 20;
       elem_size = 4;
+      group_size = 0;
     }
     ~description:"radar imaging" ~domain:422 ~data_kb:905.28
     ~solution:(11.33, 129.51, 53.81)
@@ -116,6 +118,7 @@ let shape () =
       skew_percent = 90;
       temporal_percent = 15;
       elem_size = 4;
+      group_size = 0;
     }
     ~description:"pattern recognition and shape analysis" ~domain:656
     ~data_kb:1284.06
@@ -137,12 +140,36 @@ let track () =
       skew_percent = 90;
       temporal_percent = 15;
       elem_size = 4;
+      group_size = 0;
     }
     ~description:"visual tracking control" ~domain:388 ~data_kb:744.80
     ~solution:(10.09, 155.02, 68.50)
     ~exec:(231.00, 127.61, 97.28, 95.30)
 
 let all () = [ med_im04 (); mxm (); radar (); shape (); track () ]
+
+(* ------------------------------------------------------------------ *)
+(* Scale family                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic throughput workloads, not paper reproductions: the paper
+   columns are zeroed and the candidate set is whatever the nests
+   demand (no padding to a published domain size). *)
+let scale ?seed ?group_size n =
+  let params = Random_program.scale ?seed ?group_size n in
+  let program = Random_program.generate params in
+  let sim_program = Random_program.generate_sim params in
+  spec ~name:params.Random_program.name
+    ~description:
+      (Printf.sprintf "scale family: %d arrays, %d+ nests, ~%d components"
+         n params.Random_program.num_nests
+         ((n + max 1 params.Random_program.group_size - 1)
+         / max 1 params.Random_program.group_size))
+    ~program ~sim_program
+    ~candidates:(fun _ -> [])
+    ~domain:0 ~data_kb:0.
+    ~solution:(0., 0., 0.)
+    ~exec:(0., 0., 0., 0.)
 
 let by_name name =
   let target = String.lowercase_ascii name in
@@ -152,4 +179,11 @@ let by_name name =
       (all ())
   with
   | Some s -> s
-  | None -> raise Not_found
+  | None -> (
+    (* "scale-N" instantiates the scale family at N arrays *)
+    match String.split_on_char '-' target with
+    | [ "scale"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> scale n
+      | Some _ | None -> raise Not_found)
+    | _ -> raise Not_found)

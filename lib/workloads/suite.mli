@@ -30,5 +30,13 @@ val track : unit -> Spec.t
 val all : unit -> Spec.t list
 (** The five, in Table-1 order. *)
 
+val scale : ?seed:int -> ?group_size:int -> int -> Spec.t
+(** The scale family ({!Random_program.scale}) wrapped as a spec:
+    synthetic component-rich programs at 10/100/1000+ arrays for
+    throughput work, with zeroed paper columns (they reproduce nothing)
+    and no candidate padding. *)
+
 val by_name : string -> Spec.t
-(** Case-insensitive lookup ("mxm", "radar", ...).  Raises [Not_found]. *)
+(** Case-insensitive lookup ("mxm", "radar", ...).  Names of the form
+    "scale-N" (e.g. "scale-100") instantiate the scale family at [N]
+    arrays.  Raises [Not_found]. *)

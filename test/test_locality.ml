@@ -301,6 +301,61 @@ let prop_prune_preserves_satisfiability =
       let sat n = solve_enhanced n <> None in
       sat b.Build.network = sat b'.Build.network)
 
+(* ------------------------------------------------------------------ *)
+(* Profiler memoization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The profiler caches per-(array, layout) profiles under the program's
+   physical identity.  The memo must be invisible: repeated queries
+   (same or fresh profiler instance over the same program object) agree,
+   a physically distinct but equal program yields the same numbers (the
+   cold path is deterministic), and the returned arrays are fresh — a
+   caller scribbling on one must not poison later answers. *)
+let test_profiler_memo_invisible () =
+  let spec = Suite.by_name "mxm" in
+  let prog = spec.Spec.program in
+  let p1 = Locality.profiler prog in
+  let col = Layout.col_major 2 in
+  let a = p1 ~array_name:"A" ~layout:col in
+  let a_copy = Array.copy a in
+  (* scribble on the returned array; the cache must not see it *)
+  Array.fill a 0 (Array.length a) (-1.0);
+  let b = p1 ~array_name:"A" ~layout:col in
+  Alcotest.(check bool) "cached query unaffected by caller mutation" true
+    (b = a_copy);
+  let p2 = Locality.profiler prog in
+  Alcotest.(check bool) "fresh profiler instance, same program: same answer"
+    true
+    (p2 ~array_name:"A" ~layout:col = a_copy);
+  (* a structurally equal but physically distinct program recomputes
+     from cold and must land on the same numbers *)
+  let prog' = (Suite.by_name "mxm").Spec.program in
+  Alcotest.(check bool) "physically distinct equal program: same answer" true
+    (Locality.profiler prog' ~array_name:"A" ~layout:col = a_copy);
+  (* untouched/unknown arrays profile to all zeros *)
+  let z = p1 ~array_name:"no-such-array" ~layout:col in
+  Alcotest.(check bool) "unknown array is all zeros" true
+    (Array.for_all (fun x -> x = 0.0) z)
+
+let test_profiler_distinct_layouts_distinct_entries () =
+  (* A single loop walking one column of a 64x64 array.  Depth 1 means
+     exactly one loop permutation, so min-over-perms cannot mask the
+     layout: col-major streams the column (few misses) while row-major
+     strides a full row apart (a miss per iteration).  The profiles must
+     separate, proving the cache keys on the layout and not just the
+     array name. *)
+  let x = B.ctx [ "i" ] in
+  let nest =
+    B.nest "col_walk" x [ 64 ] [ B.read "A" [ B.var x "i"; B.const x 0 ] ]
+  in
+  let prog =
+    Program.make ~name:"colwalk" [ Array_info.make "A" [ 64; 64 ] ] [ nest ]
+  in
+  let p = Locality.profiler prog in
+  let row = p ~array_name:"A" ~layout:(Layout.row_major 2)
+  and col = p ~array_name:"A" ~layout:(Layout.col_major 2) in
+  Alcotest.(check bool) "row and col profiles differ" true (row <> col)
+
 let () =
   Alcotest.run "locality"
     [
@@ -326,5 +381,12 @@ let () =
           Alcotest.test_case "mxm drops a dominated value" `Quick
             test_prune_mxm_drops_padding;
           QCheck_alcotest.to_alcotest prop_prune_preserves_satisfiability;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "memoization is invisible" `Quick
+            test_profiler_memo_invisible;
+          Alcotest.test_case "distinct layouts get distinct entries" `Quick
+            test_profiler_distinct_layouts_distinct_entries;
         ] );
     ]

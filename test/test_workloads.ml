@@ -211,6 +211,52 @@ let test_generator_intended_layouts () =
     (fun (_, l) -> Alcotest.(check int) "rank 2" 2 (Layout.rank l))
     intended
 
+(* ------------------------------------------------------------------ *)
+(* Scale family                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_scale_structure () =
+  let spec = Suite.scale 100 in
+  Alcotest.(check string) "name" "scale-100" spec.Spec.name;
+  Alcotest.(check int) "arrays" 100
+    (Array.length (Program.arrays spec.Spec.program));
+  Alcotest.(check bool)
+    "at least 2n/5 nests" true
+    (Array.length (Program.nests spec.Spec.program) >= 40);
+  (* pooled references (group_size 8) must split the network into at
+     least num_arrays / group_size independent components *)
+  let build = Spec.extract spec in
+  Alcotest.(check bool)
+    "component-rich" true
+    (Array.length (Build.components build) >= 100 / 8)
+
+let test_scale_solvable () =
+  let spec = Suite.scale 100 in
+  let build = Spec.extract spec in
+  match
+    Mlo_csp.Solver.solve_components
+      ~config:(Mlo_csp.Schemes.enhanced ())
+      build.Build.network
+  with
+  | { Mlo_csp.Solver.outcome = Mlo_csp.Solver.Solution a; _ } ->
+    Alcotest.(check bool)
+      "solution verifies" true
+      (Network.verify build.Build.network a)
+  | _ -> Alcotest.fail "scale-100: expected a solution"
+
+let test_scale_deterministic () =
+  let d1 = Network.total_domain_size (Spec.extract (Suite.scale 10)).Build.network in
+  let d2 = Network.total_domain_size (Spec.extract (Suite.scale 10)).Build.network in
+  Alcotest.(check int) "same domain size" d1 d2
+
+let test_scale_by_name () =
+  Alcotest.(check string)
+    "scale-25 parses" "scale-25" (Suite.by_name "scale-25").Spec.name;
+  Alcotest.check_raises "scale-0 rejected" Not_found (fun () ->
+      ignore (Suite.by_name "scale-0"));
+  Alcotest.check_raises "scale-x rejected" Not_found (fun () ->
+      ignore (Suite.by_name "scale-x"))
+
 let () =
   Alcotest.run "workloads"
     [
@@ -245,5 +291,12 @@ let () =
           Alcotest.test_case "accesses within bounds" `Quick
             test_generator_within_bounds;
           Alcotest.test_case "intended layouts" `Quick test_generator_intended_layouts;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "structure" `Quick test_scale_structure;
+          Alcotest.test_case "solvable" `Quick test_scale_solvable;
+          Alcotest.test_case "deterministic" `Quick test_scale_deterministic;
+          Alcotest.test_case "by_name" `Quick test_scale_by_name;
         ] );
     ]
