@@ -210,6 +210,48 @@ let scale_tests =
            ])
        (Lazy.force scale_builds))
 
+(* The conflict-driven axis: the hard family (three-deep nests on the
+   array ring near the phase transition, Suite.hard) at sizes where the
+   paper's enhanced backjumper starts to thrash on rediscovered
+   conflicts.  Per size: the enhanced solve, the nogood-learning solve
+   (Cdl) and the racing portfolio on the same pre-built network.  The
+   enhanced-vs-cdl p50 ratio is the speedup column of BENCH_hard.json
+   (--hard-json). *)
+let hard_sizes = [ 20; 80; 150; 200 ]
+
+let hard_builds =
+  lazy
+    (List.map
+       (fun n ->
+         let spec = Suite.hard n in
+         (n, spec, Spec.extract spec))
+       hard_sizes)
+
+let hard_tests =
+  lazy
+    (List.concat_map
+       (fun (n, _spec, build) ->
+         let net = build.Build.network in
+         let compiled = Mlo_csp.Network.compile net in
+         [
+           Test.make
+             ~name:(Printf.sprintf "hard/solve-enh:hard-%d" n)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Solver.solve_components ~config:(Schemes.enhanced ()) net)));
+           Test.make
+             ~name:(Printf.sprintf "hard/solve-cdl:hard-%d" n)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Mlo_csp.Cdl.solve_components
+                       ~config:Mlo_csp.Cdl.default_config net)));
+           Test.make
+             ~name:(Printf.sprintf "hard/solve-portfolio:hard-%d" n)
+             (Staged.stage (fun () ->
+                  ignore (Mlo_csp.Portfolio.race ~domains:2 compiled)));
+         ])
+       (Lazy.force hard_builds))
+
 (* Static miss estimate vs trace-driven simulation on the same
    matmul32 sweep: locality/estimate-sweep is the closed-form analyzer
    over the 8 layout assignments table3/run_many walks address by
@@ -267,7 +309,7 @@ let stats_of samples =
 let benchmark ?(filter = "") ~quota () =
   let tests =
     table1_tests @ table2_tests @ fig4_tests @ table3_tests @ prune_tests
-    @ locality_tests @ Lazy.force scale_tests
+    @ locality_tests @ Lazy.force scale_tests @ Lazy.force hard_tests
   in
   let tests =
     if filter = "" then tests
@@ -427,10 +469,72 @@ let write_scale_json file rows =
   Format.printf "wrote scale stats for %d sizes to %s@." (List.length sizes)
     file
 
+(* Schema "memlayout-hard-bench/1": one object per hard-family size with
+   network shape, per-scheme percentile stats on the same pre-built
+   network, and the enhanced-vs-learning p50 speedups — the conflict-
+   driven solving claim of DESIGN.md Section 14, recorded as data. *)
+let write_hard_json file rows =
+  let find kind n =
+    List.find_opt
+      (fun (name, _, _) ->
+        String.equal name (Printf.sprintf "hard/%s:hard-%d" kind n))
+      rows
+    |> Option.map (fun (_, st, _) -> st)
+  in
+  let stat_json = function
+    | Some st ->
+      Printf.sprintf
+        "{ \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"mad\": %.1f, \
+         \"samples\": %d }"
+        st.p50 st.p90 st.p99 st.mad st.samples
+    | None -> "null"
+  in
+  let speedup over = function
+    | Some (e : stats), Some (s : stats) when s.p50 > 0. && over ->
+      Printf.sprintf "%.2f" (e.p50 /. s.p50)
+    | _ -> "null"
+  in
+  let oc = open_out file in
+  output_string oc
+    "{\n\
+    \  \"schema\": \"memlayout-hard-bench/1\",\n\
+    \  \"clock\": \"monotonic\",\n\
+    \  \"unit\": \"ns/run\",\n\
+    \  \"sizes\": {\n";
+  let sizes = Lazy.force hard_builds in
+  List.iteri
+    (fun i (n, spec, build) ->
+      let net = build.Build.network in
+      let enh = find "solve-enh" n in
+      let cdl = find "solve-cdl" n in
+      let pf = find "solve-portfolio" n in
+      Printf.fprintf oc
+        "    \"hard-%d\": {\n\
+        \      \"arrays\": %d, \"nests\": %d, \"components\": %d,\n\
+        \      \"solve_enhanced\": %s,\n\
+        \      \"solve_cdl\": %s,\n\
+        \      \"solve_portfolio\": %s,\n\
+        \      \"speedup_cdl\": %s,\n\
+        \      \"speedup_portfolio\": %s\n\
+        \    }%s\n"
+        n
+        (Array.length (Mlo_ir.Program.arrays spec.Spec.program))
+        (Array.length (Mlo_ir.Program.nests spec.Spec.program))
+        (Array.length (Mlo_csp.Network.components net))
+        (stat_json enh) (stat_json cdl) (stat_json pf)
+        (speedup true (enh, cdl))
+        (speedup true (enh, pf))
+        (if i = List.length sizes - 1 then "" else ","))
+    sizes;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Format.printf "wrote hard stats for %d sizes to %s@." (List.length sizes)
+    file
+
 let usage () =
   prerr_endline
-    "usage: bench [--tables | --json [FILE] | --scale-json [FILE] | --smoke \
-     [FILTER]]\n\
+    "usage: bench [--tables | --json [FILE] | --scale-json [FILE] | \
+     --hard-json [FILE] | --smoke [FILTER]]\n\
      \  (default)        print the paper's tables then run the micro-benchmarks\n\
      \  --tables         print the paper's tables only\n\
      \  --json [FILE]    run the micro-benchmarks and dump per-kernel medians\n\
@@ -438,6 +542,9 @@ let usage () =
      \  --scale-json [FILE]  run only the scale/ group and dump per-size\n\
      \                   percentiles and the serial-vs-parallel solve speedup\n\
      \                   (default FILE: BENCH_scale.json)\n\
+     \  --hard-json [FILE]  run only the hard/ group and dump per-size\n\
+     \                   percentiles and the enhanced-vs-cdl/portfolio solve\n\
+     \                   speedups (default FILE: BENCH_hard.json)\n\
      \  --smoke [FILTER] short benchmark run, no tables (CI); FILTER, if\n\
      \                   given, runs only kernels whose name starts with it\n\
      \                   (e.g. table3/ or scale/)";
@@ -469,6 +576,16 @@ let () =
     let rows = benchmark ~filter:"scale/" ~quota:0.5 () in
     print_benchmark rows;
     write_scale_json file rows
+  | _ :: "--hard-json" :: rest ->
+    let file =
+      match rest with
+      | [] -> "BENCH_hard.json"
+      | [ f ] -> f
+      | _ -> usage ()
+    in
+    let rows = benchmark ~filter:"hard/" ~quota:1.0 () in
+    print_benchmark rows;
+    write_hard_json file rows
   | [ _; "--smoke" ] -> print_benchmark (benchmark ~quota:0.05 ())
   | [ _; "--smoke"; filter ] ->
     print_benchmark (benchmark ~filter ~quota:0.05 ())

@@ -34,27 +34,31 @@ open Cmdliner
 let workload_names = [ "med-im04"; "mxm"; "radar"; "shape"; "track" ]
 
 (* Workloads are named, not enumerated: besides the five Table-1 specs,
-   "scale-N" (any positive N) instantiates the synthetic scale family.
-   An unknown name dies with a single-line error naming the
+   "scale-N" and "hard-N" (any positive N) instantiate the synthetic
+   families.  An unknown name dies with a single-line error naming the
    alternatives. *)
 let spec_of_workload name =
   match Suite.by_name name with
   | spec -> spec
   | exception Not_found ->
     Printf.eprintf
-      "layoutopt: unknown workload '%s' (valid workloads: %s, scale-N)\n" name
+      "layoutopt: unknown workload '%s' (valid workloads: %s, scale-N, \
+       hard-N)\n"
+      name
       (String.concat ", " workload_names);
     exit 2
 
 let workload_arg =
   let doc =
-    Printf.sprintf "Benchmark to operate on; one of %s, or scale-N (the \
-                    synthetic scale family at N arrays, e.g. scale-100)."
+    Printf.sprintf "Benchmark to operate on; one of %s, scale-N (the \
+                    synthetic scale family at N arrays, e.g. scale-100), \
+                    or hard-N (the phase-transition family, e.g. hard-20)."
       (String.concat ", " workload_names)
   in
   Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
-let scheme_names = [ "heuristic"; "base"; "enhanced"; "enhanced-ac" ]
+let scheme_names =
+  [ "heuristic"; "base"; "enhanced"; "enhanced-ac"; "cdl"; "portfolio" ]
 
 let scheme_arg =
   let doc =
@@ -78,19 +82,58 @@ let explain_flag =
 let domains_arg =
   let doc =
     "Number of OCaml domains for parallel work: independent network \
-     components in 'solve', the simulation sweep in 'table3' (default \
-     there: up to 8, bounded by the machine); 1 forces serial execution."
+     components in 'solve' (for -s portfolio it instead sizes the racing \
+     pool), the simulation sweep in 'table3' (default there: up to 8, \
+     bounded by the machine); 1 forces serial execution."
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+(* [--domains 0] (or a negative count) must die with a single-line
+   error before it reaches the pool, like every other CLI validation. *)
+let validated_domains = function
+  | Some d when d <= 0 ->
+    Printf.eprintf
+      "layoutopt: --domains must be a positive integer (got %d)\n" d;
+    exit 2
+  | d -> d
+
+let restarts_arg =
+  let doc =
+    "For -s cdl/portfolio: number of Luby-bounded restart runs before \
+     the final unbounded run (0 disables restarting)."
+  in
+  Arg.(
+    value
+    & opt int Mlo_csp.Cdl.default_config.Mlo_csp.Cdl.restarts
+    & info [ "restarts" ] ~docv:"N" ~doc)
+
+let learn_limit_arg =
+  let doc =
+    "For -s cdl/portfolio: keep at most this many learned nogoods \
+     (largest, least-active nogoods are forgotten first)."
+  in
+  Arg.(
+    value
+    & opt int Mlo_csp.Cdl.default_config.Mlo_csp.Cdl.learn_limit
+    & info [ "learn-limit" ] ~docv:"N" ~doc)
+
 (* An unknown scheme must die with a single-line error naming the
    alternatives — not an exception trace or a usage dump. *)
-let scheme_of ~seed name =
+let scheme_of ~seed ~restarts ~learn_limit name =
+  let cdl_config =
+    { Mlo_csp.Cdl.default_config with Mlo_csp.Cdl.restarts; learn_limit }
+  in
   match String.lowercase_ascii name with
   | "heuristic" -> Optimizer.Heuristic
   | "base" -> Optimizer.Base seed
   | "enhanced" -> Optimizer.Enhanced seed
   | "enhanced-ac" -> Optimizer.Enhanced_ac seed
+  | "cdl" -> Optimizer.Cdl cdl_config
+  | "portfolio" ->
+    Optimizer.Portfolio
+      { Mlo_csp.Portfolio.default_config with
+        Mlo_csp.Portfolio.seed;
+        cdl = cdl_config }
   | other ->
     Printf.eprintf "layoutopt: unknown scheme '%s' (valid schemes: %s)\n"
       other
@@ -160,9 +203,11 @@ let pp_pruned ppf = function
   | None -> ()
 
 let solve_cmd =
-  let run workload scheme seed max_checks explain prune domains trace =
+  let run workload scheme seed max_checks restarts learn_limit explain prune
+      domains trace =
     let spec = spec_of_workload workload in
-    let scheme = scheme_of ~seed scheme in
+    let scheme = scheme_of ~seed ~restarts ~learn_limit scheme in
+    let domains = validated_domains domains in
     match
       with_trace trace @@ fun () ->
       Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
@@ -181,6 +226,9 @@ let solve_cmd =
       (match sol.Optimizer.solver_stats with
       | Some st -> Format.printf "solver: %a@." Stats.pp st
       | None -> ());
+      (match sol.Optimizer.portfolio_winner with
+      | Some w -> Format.printf "portfolio winner: %s@." w
+      | None -> ());
       (match sol.Optimizer.heuristic_evaluations with
       | Some n -> Format.printf "heuristic: %d combinations scored@." n
       | None -> ());
@@ -193,7 +241,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Choose memory layouts for a workload")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ explain_flag $ prune_flag $ domains_arg $ trace_arg)
+      $ restarts_arg $ learn_limit_arg $ explain_flag $ prune_flag
+      $ domains_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -207,9 +256,9 @@ let reference_flag =
   Arg.(value & flag & info [ "reference" ] ~doc)
 
 let simulate_cmd =
-  let run workload scheme seed max_checks reference trace =
+  let run workload scheme seed max_checks restarts learn_limit reference trace =
     let spec = spec_of_workload workload in
-    let scheme = scheme_of ~seed scheme in
+    let scheme = scheme_of ~seed ~restarts ~learn_limit scheme in
     let prog = spec.Spec.sim_program in
     let engine = if reference then Simulate.run_reference else Simulate.run in
     with_trace trace @@ fun () ->
@@ -235,7 +284,7 @@ let simulate_cmd =
        ~doc:"Simulate a workload before and after layout optimization")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ reference_flag $ trace_arg)
+      $ restarts_arg $ learn_limit_arg $ reference_flag $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* optimize-file                                                        *)
@@ -250,7 +299,7 @@ let simulate_flag =
   Arg.(value & flag & info [ "simulate" ] ~doc)
 
 let optimize_file_cmd =
-  let run file scheme seed max_checks simulate explain =
+  let run file scheme seed max_checks restarts learn_limit simulate explain =
     match Parser.parse_file file with
     | exception Parser.Error (msg, line, col) ->
       Format.eprintf "%s:%d:%d: %s@." file line col msg;
@@ -259,7 +308,11 @@ let optimize_file_cmd =
       Format.printf "parsed %s: %d arrays, %d nests@." file
         (Array.length (Mlo_ir.Program.arrays prog))
         (Array.length (Mlo_ir.Program.nests prog));
-      match Optimizer.optimize ~max_checks (scheme_of ~seed scheme) prog with
+      match
+        Optimizer.optimize ~max_checks
+          (scheme_of ~seed ~restarts ~learn_limit scheme)
+          prog
+      with
       | exception Optimizer.No_solution msg ->
         Format.printf "no solution: %s@." msg;
         exit 1
@@ -286,7 +339,7 @@ let optimize_file_cmd =
        ~doc:"Parse a program file and choose its memory layouts")
     Term.(
       const run $ file_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ simulate_flag $ explain_flag)
+      $ restarts_arg $ learn_limit_arg $ simulate_flag $ explain_flag)
 
 (* ------------------------------------------------------------------ *)
 (* tables and figure                                                    *)
@@ -316,6 +369,7 @@ let fig4_cmd =
 
 let table3_cmd =
   let run seed max_checks domains trace =
+    let domains = validated_domains domains in
     Format.printf "%a@." Tables.print_table3
       (with_trace trace @@ fun () ->
        Tables.run_table3 ~seed ~max_checks ?domains ())
@@ -352,7 +406,8 @@ let suite_flag =
 
 let workload_opt_arg =
   let doc =
-    Printf.sprintf "Built-in benchmark to analyze; one of %s, or scale-N."
+    Printf.sprintf
+      "Built-in benchmark to analyze; one of %s, scale-N, or hard-N."
       (String.concat ", " workload_names)
   in
   Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)

@@ -16,6 +16,8 @@ type scheme =
   | Enhanced of int
   | Enhanced_ac of int
   | Custom of Solver.config
+  | Cdl of Mlo_csp.Cdl.config
+  | Portfolio of Mlo_csp.Portfolio.config
 
 type solution = {
   layouts : (string * Layout.t) list;
@@ -23,13 +25,14 @@ type solution = {
   solver_stats : Stats.t option;
   heuristic_evaluations : int option;
   pruned_values : Mlo_netgen.Prune.info option;
+  portfolio_winner : string option;
   elapsed_s : float;
 }
 
 exception No_solution of string
 
 let config_of_scheme ?max_checks = function
-  | Heuristic -> None
+  | Heuristic | Cdl _ | Portfolio _ -> None
   | Base seed -> Some (Schemes.base ~seed ?max_checks ())
   | Enhanced seed -> Some (Schemes.enhanced ~seed ?max_checks ())
   | Enhanced_ac seed -> Some (Schemes.enhanced_with_ac ~seed ?max_checks ())
@@ -41,6 +44,8 @@ let scheme_label = function
   | Enhanced _ -> "enhanced"
   | Enhanced_ac _ -> "enhanced-ac"
   | Custom _ -> "custom"
+  | Cdl _ -> "cdl"
+  | Portfolio _ -> "portfolio"
 
 let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
     scheme prog =
@@ -52,8 +57,8 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
       ]
   @@ fun () ->
   let t0 = Mlo_csp.Clock.wall_s () in
-  match config_of_scheme ?max_checks scheme with
-  | None ->
+  match scheme with
+  | Heuristic ->
     let r =
       Trace.with_span ~cat:"optimizer" "heuristic" (fun () ->
           Propagation.optimize prog)
@@ -69,9 +74,10 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
       solver_stats = None;
       heuristic_evaluations = Some r.Propagation.evaluations;
       pruned_values = None;
+      portfolio_winner = None;
       elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
     }
-  | Some config ->
+  | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ | Cdl _ | Portfolio _ ->
     let build =
       Trace.with_span ~cat:"optimizer" "build-network" (fun () ->
           Build.build ?candidates prog)
@@ -85,8 +91,41 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
     (* Component-wise search: independent subnetworks are solved
        separately (decision-equivalent to the whole-network solve; a
        single-component network takes the identical path), across
-       [domains] worker domains when more than one is requested. *)
-    let result = Solver.solve_components ~config ~domains build.Build.network in
+       [domains] worker domains when more than one is requested.  The
+       portfolio instead races its members on the whole network, using
+       [domains] to size the racing pool. *)
+    let result, winner =
+      match scheme with
+      | Cdl cfg ->
+        let cfg =
+          match max_checks with
+          | None -> cfg
+          | Some m -> { cfg with Mlo_csp.Cdl.max_checks = Some m }
+        in
+        ( Mlo_csp.Cdl.solve_components ~config:cfg ~domains
+            build.Build.network,
+          None )
+      | Portfolio cfg ->
+        let cfg =
+          match max_checks with
+          | None -> cfg
+          | Some m -> { cfg with Mlo_csp.Portfolio.max_checks = Some m }
+        in
+        let r =
+          Mlo_csp.Portfolio.race ~config:cfg ~domains
+            (Mlo_csp.Network.compile build.Build.network)
+        in
+        ( {
+            Solver.outcome = r.Mlo_csp.Portfolio.outcome;
+            stats = r.Mlo_csp.Portfolio.stats;
+          },
+          r.Mlo_csp.Portfolio.winner )
+      | Heuristic | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ ->
+        let config =
+          Option.get (config_of_scheme ?max_checks scheme)
+        in
+        (Solver.solve_components ~config ~domains build.Build.network, None)
+    in
     (match result.Solver.outcome with
     | Solver.Unsatisfiable ->
       let detail =
@@ -117,6 +156,7 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
         solver_stats = Some result.Solver.stats;
         heuristic_evaluations = None;
         pruned_values = prune_info;
+        portfolio_winner = winner;
         elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
       })
 

@@ -14,6 +14,12 @@ type scheme =
   | Enhanced_ac of int
       (** enhanced scheme with AC-2001 arc-consistency preprocessing *)
   | Custom of Mlo_csp.Solver.config
+  | Cdl of Mlo_csp.Cdl.config
+      (** conflict-driven search with nogood learning, VSIDS ordering and
+          Luby restarts ({!Mlo_csp.Cdl}) *)
+  | Portfolio of Mlo_csp.Portfolio.config
+      (** racing portfolio over enhanced / enhanced-ac / cdl /
+          min-conflicts ({!Mlo_csp.Portfolio}) *)
 
 type solution = {
   layouts : (string * Mlo_layout.Layout.t) list;
@@ -28,6 +34,9 @@ type solution = {
   pruned_values : Mlo_netgen.Prune.info option;
       (** dominance-pruning counts ([Some] only when [optimize] ran with
           [~prune_dominated:true] and a network scheme) *)
+  portfolio_winner : string option;
+      (** which portfolio member's answer was taken ([Some] only for
+          [Portfolio]) *)
   elapsed_s : float;  (** end-to-end solution time *)
 }
 
@@ -37,7 +46,8 @@ exception No_solution of string
 
 val scheme_label : scheme -> string
 (** Short stable name ("heuristic", "base", "enhanced", "enhanced-ac",
-    "custom") — used for trace span arguments and CLI messages. *)
+    "custom", "cdl", "portfolio") — used for trace span arguments and CLI
+    messages. *)
 
 val optimize :
   ?candidates:(string -> Mlo_layout.Layout.t list) ->
@@ -54,7 +64,10 @@ val optimize :
     satisfiability-preserving, ignored by [Heuristic]); [domains]
     (default 1: serial) solves independent network components on that
     many OCaml domains ({!Mlo_csp.Solver.solve_components} — outcome and
-    merged stats are identical to the serial solve). *)
+    merged stats are identical to the serial solve).  For [Portfolio],
+    [domains] instead sizes the racing pool (the portfolio runs on the
+    whole network) and [solution.portfolio_winner] names the member whose
+    answer was taken. *)
 
 val lookup : solution -> string -> Mlo_layout.Layout.t option
 

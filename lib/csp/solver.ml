@@ -48,69 +48,9 @@ module Int_set = Set.Make (Int)
    is unsatisfiable), carrying conflict levels to merge there. *)
 type step = Found | Fail of int * Int_set.t
 
-(* Sets of search levels as word masks.  The conflict machinery touches
-   these on every node, and realistic networks have few enough variables
-   that a set is one or two words — the compiled engine uses these in
-   place of the reference's [Int_set] (same set semantics, no
-   allocation).  All operations are in-place on pre-sized scratch. *)
-(* Sets of search levels as word masks, stored as rows of a flat matrix
-   (one allocation per solve, not one per level).  Every operation takes
-   the backing array, the row's word offset, and where the row extent
-   matters the per-row word count [lw].  The conflict machinery touches
-   these on every node — same set semantics as the reference's
-   [Int_set], no allocation. *)
-module Lset = struct
-  let bits = 63
-  let words n = ((max 1 n) + bits - 1) / bits
-  let make_mat rows n = Array.make (max 1 (rows * words n)) 0
-  let clear s off lw = Array.fill s off lw 0
-
-  let add s off l =
-    let k = off + (l / bits) in
-    s.(k) <- s.(k) lor (1 lsl (l mod bits))
-
-  let remove s off l =
-    let k = off + (l / bits) in
-    s.(k) <- s.(k) land lnot (1 lsl (l mod bits))
-
-  let copy src soff dst doff lw = Array.blit src soff dst doff lw
-
-  (* [dst := dst U (src /\ [0, limit))] *)
-  let union_below src soff dst doff limit lw =
-    let w = limit / bits in
-    let last = min w (lw - 1) in
-    for k = 0 to last do
-      let m = if k = w then (1 lsl (limit mod bits)) - 1 else -1 in
-      dst.(doff + k) <- dst.(doff + k) lor (src.(soff + k) land m)
-    done
-
-  (* in place: drop members >= limit *)
-  let keep_below s off limit lw =
-    let w = limit / bits in
-    if w < lw then begin
-      s.(off + w) <- s.(off + w) land ((1 lsl (limit mod bits)) - 1);
-      Array.fill s (off + w + 1) (lw - w - 1) 0
-    end
-
-  let top_bit w =
-    let r = ref 0 and w = ref w in
-    if !w lsr 32 <> 0 then (r := !r + 32; w := !w lsr 32);
-    if !w lsr 16 <> 0 then (r := !r + 16; w := !w lsr 16);
-    if !w lsr 8 <> 0 then (r := !r + 8; w := !w lsr 8);
-    if !w lsr 4 <> 0 then (r := !r + 4; w := !w lsr 4);
-    if !w lsr 2 <> 0 then (r := !r + 2; w := !w lsr 2);
-    if !w lsr 1 <> 0 then incr r;
-    !r
-
-  (* highest member, or -1 when empty *)
-  let max_elt s off lw =
-    let rec go k =
-      if k < 0 then -1
-      else if s.(off + k) <> 0 then (k * bits) + top_bit s.(off + k)
-      else go (k - 1)
-    in
-    go (lw - 1)
-end
+(* Sets of search levels as word masks, one flat-matrix row per level —
+   see {!Lset}.  Shared with the conflict-driven engine ({!Cdl}), which
+   blames nogood prunings through the same representation. *)
 
 (* Compiled-engine analogue of [step]: the conflict levels to merge at
    the target travel in a single pre-allocated carry buffer instead of a
@@ -628,6 +568,9 @@ let merge_component_stats stats ~n ~vars (s : Stats.t) =
   stats.Stats.backtracks <- stats.Stats.backtracks + s.Stats.backtracks;
   stats.Stats.backjumps <- stats.Stats.backjumps + s.Stats.backjumps;
   stats.Stats.prunings <- stats.Stats.prunings + s.Stats.prunings;
+  stats.Stats.learned <- stats.Stats.learned + s.Stats.learned;
+  stats.Stats.forgotten <- stats.Stats.forgotten + s.Stats.forgotten;
+  stats.Stats.restarts <- stats.Stats.restarts + s.Stats.restarts;
   if s.Stats.max_depth > stats.Stats.max_depth then
     stats.Stats.max_depth <- s.Stats.max_depth;
   Array.iteri
@@ -664,11 +607,15 @@ let merge_component_stats stats ~n ~vars (s : Stats.t) =
    starts with what its predecessors have left, and the first budget
    exhaustion flips an abort flag that the sibling solves poll (the
    [cancel] hook above), so one exhausted Domain cancels the rest
-   instead of letting every worker burn a full budget. *)
-let solve_components ?(config = default_config) ?(domains = 1) net =
+   instead of letting every worker burn a full budget.
+
+   The driver is generic in the per-component engine ([run]) so the
+   conflict-driven scheme ({!Cdl}) and the portfolio reuse the exact
+   decomposition, budget-sharing and merge logic. *)
+let component_driver ?(domains = 1) ~max_checks ~run net =
   let comp = Network.compile net in
   let comps = Compiled.components comp in
-  if Array.length comps <= 1 then solve_compiled ~config comp
+  if Array.length comps <= 1 then run ~max_checks ~cancel:None net
   else begin
     let ncomps = Array.length comps in
     let domains = max 1 (min domains ncomps) in
@@ -686,16 +633,12 @@ let solve_components ?(config = default_config) ?(domains = 1) net =
     if domains = 1 then begin
       (* The check budget is global: each component consumes what the
          previous ones left over, mirroring the whole-network abort. *)
-      let remaining = ref config.max_checks in
+      let remaining = ref max_checks in
       let stop = ref false in
       for k = 0 to ncomps - 1 do
         if not !stop then begin
           let sub = Network.induced net comps.(k) in
-          let r =
-            solve_compiled
-              ~config:{ config with max_checks = !remaining }
-              (Network.compile sub)
-          in
+          let r = run ~max_checks:!remaining ~cancel:None sub in
           results.(k) <- Some r;
           (match !remaining with
           | Some m -> remaining := Some (max 0 (m - r.stats.Stats.checks))
@@ -713,18 +656,12 @@ let solve_components ?(config = default_config) ?(domains = 1) net =
       Mlo_support.Pool.parallel_iter ~domains ncomps (fun k ->
           if not (Atomic.get exhausted) then begin
             let budget =
-              Option.map
-                (fun m -> max 0 (m - Atomic.get spent))
-                config.max_checks
+              Option.map (fun m -> max 0 (m - Atomic.get spent)) max_checks
             in
             let sub = Network.induced net comps.(k) in
-            let r =
-              solve_compiled
-                ~config:{ config with max_checks = budget }
-                ~cancel (Network.compile sub)
-            in
+            let r = run ~max_checks:budget ~cancel:(Some cancel) sub in
             results.(k) <- Some r;
-            if config.max_checks <> None then
+            if max_checks <> None then
               ignore (Atomic.fetch_and_add spent r.stats.Stats.checks);
             match r.outcome with
             | Aborted -> Atomic.set exhausted true
@@ -759,6 +696,13 @@ let solve_components ?(config = default_config) ?(domains = 1) net =
     in
     { outcome; stats }
   end
+
+let solve_components ?(config = default_config) ?domains net =
+  component_driver ?domains ~max_checks:config.max_checks
+    ~run:(fun ~max_checks ~cancel sub ->
+      let config = { config with max_checks } in
+      solve_compiled ~config ?cancel (Network.compile sub))
+    net
 
 let solve_values ?config net =
   let r = solve ?config net in

@@ -127,6 +127,24 @@ val solve_components : ?config:config -> ?domains:int -> 'a Network.t -> result
     (each component starts from what the completed ones have left, so
     the total overrun is bounded by the number of in-flight solves). *)
 
+val component_driver :
+  ?domains:int ->
+  max_checks:int option ->
+  run:
+    (max_checks:int option ->
+    cancel:(unit -> bool) option ->
+    'a Network.t ->
+    result) ->
+  'a Network.t ->
+  result
+(** The machinery behind {!solve_components}, generic in the
+    per-component engine: decomposes the network, shares the [max_checks]
+    budget across components (atomically under [domains > 1], with
+    sibling cancellation through [cancel]), and merges results in
+    component order with the serial stopping rule.  A single-component
+    network is passed to [run] whole.  {!Cdl.solve_components} and the
+    portfolio build on this. *)
+
 val solve_values : ?config:config -> 'a Network.t -> ('a array * result) option
 (** Convenience: like {!solve} but materializes the domain values of the
     solution; [None] when unsatisfiable or aborted. *)

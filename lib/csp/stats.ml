@@ -4,6 +4,9 @@ type t = {
   mutable backtracks : int;
   mutable backjumps : int;
   mutable prunings : int;
+  mutable learned : int;
+  mutable forgotten : int;
+  mutable restarts : int;
   mutable max_depth : int;
   mutable elapsed_s : float;
   mutable cpu_s : float;
@@ -18,6 +21,9 @@ let create () =
     backtracks = 0;
     backjumps = 0;
     prunings = 0;
+    learned = 0;
+    forgotten = 0;
+    restarts = 0;
     max_depth = 0;
     elapsed_s = 0.;
     cpu_s = 0.;
@@ -31,6 +37,9 @@ let reset t =
   t.backtracks <- 0;
   t.backjumps <- 0;
   t.prunings <- 0;
+  t.learned <- 0;
+  t.forgotten <- 0;
+  t.restarts <- 0;
   t.max_depth <- 0;
   t.elapsed_s <- 0.;
   t.cpu_s <- 0.;
@@ -61,6 +70,9 @@ let add a b =
     backtracks = a.backtracks + b.backtracks;
     backjumps = a.backjumps + b.backjumps;
     prunings = a.prunings + b.prunings;
+    learned = a.learned + b.learned;
+    forgotten = a.forgotten + b.forgotten;
+    restarts = a.restarts + b.restarts;
     max_depth = max a.max_depth b.max_depth;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
     cpu_s = a.cpu_s +. b.cpu_s;
@@ -78,6 +90,9 @@ let to_json t =
       ("backtracks", Num (float_of_int t.backtracks));
       ("backjumps", Num (float_of_int t.backjumps));
       ("prunings", Num (float_of_int t.prunings));
+      ("learned", Num (float_of_int t.learned));
+      ("forgotten", Num (float_of_int t.forgotten));
+      ("restarts", Num (float_of_int t.restarts));
       ("max_depth", Num (float_of_int t.max_depth));
       ("elapsed_s", Num t.elapsed_s);
       ("cpu_s", Num t.cpu_s);
@@ -87,7 +102,11 @@ let to_json t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d depth=%d \
+    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d%s depth=%d \
      time=%.4fs cpu=%.4fs"
-    t.nodes t.checks t.backtracks t.backjumps t.prunings t.max_depth
-    t.elapsed_s t.cpu_s
+    t.nodes t.checks t.backtracks t.backjumps t.prunings
+    (if t.learned + t.forgotten + t.restarts = 0 then ""
+     else
+       Printf.sprintf " learned=%d forgotten=%d restarts=%d" t.learned
+         t.forgotten t.restarts)
+    t.max_depth t.elapsed_s t.cpu_s

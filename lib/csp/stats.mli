@@ -18,6 +18,11 @@ type t = {
   mutable backtracks : int;  (** chronological backward steps *)
   mutable backjumps : int;  (** non-chronological backward steps *)
   mutable prunings : int;  (** domain values removed by lookahead *)
+  mutable learned : int;
+      (** nogoods recorded by the conflict-driven scheme ({!Cdl}); 0 for
+          the non-learning schemes *)
+  mutable forgotten : int;  (** learned nogoods dropped by store reduction *)
+  mutable restarts : int;  (** Luby restarts taken by the search *)
   mutable max_depth : int;  (** deepest consistent partial instantiation *)
   mutable elapsed_s : float;
       (** monotonic wall-clock seconds ({!Clock.wall_s}), if timed *)

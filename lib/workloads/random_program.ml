@@ -22,6 +22,10 @@ type params = {
   temporal_percent : int;
   elem_size : int;
   group_size : int;
+  twin_percent : int;
+  palette_size : int;
+  ref_conflict_percent : int;
+  nest_depth : int;
 }
 
 let default =
@@ -39,6 +43,10 @@ let default =
     temporal_percent = 30;
     elem_size = 4;
     group_size = 0;
+    twin_percent = 100;
+    palette_size = 0;
+    ref_conflict_percent = 0;
+    nest_depth = 2;
   }
 
 (* The scale family: component-rich programs from tens to thousands of
@@ -65,6 +73,44 @@ let scale ?(seed = 11) ?(group_size = 8) num_arrays =
     temporal_percent = 20;
     elem_size = 4;
     group_size;
+    twin_percent = 100;
+    palette_size = 0;
+    ref_conflict_percent = 0;
+    nest_depth = 2;
+  }
+
+(* The hard family: one dense co-reference component near the
+   satisfiability phase transition.  Nests are 3-deep over a 3-layout
+   palette, so every legal loop order induces one of three layout
+   demands per reference and the extracted pair constraints become
+   matching-like relations in which EVERY value keeps a support — arc
+   consistency and forward checking are blind to them, and the search
+   must discover globally-inconsistent loop-order choices deep in the
+   tree.  Most references put the planted (intended) layout on the
+   innermost loop; [ref_conflict_percent] of them scramble their slot
+   order, which breaks the planted solution locally and tunes the
+   instance toward the transition.  This is the regime where plain
+   conflict-directed backjumping rediscovers the same deep conflicts
+   endlessly while nogood learning prunes them once. *)
+let hard ?(seed = 23) num_arrays =
+  {
+    name = Printf.sprintf "hard-%d" num_arrays;
+    seed = seed + (3 * num_arrays);
+    num_arrays;
+    num_nests = 2 * num_arrays;
+    extent = 64;
+    sim_extent = 32;
+    min_arrays_per_nest = 3;
+    max_arrays_per_nest = 4;
+    conflict_percent = 0;
+    skew_percent = 0;
+    temporal_percent = 10;
+    elem_size = 4;
+    group_size = 0;
+    twin_percent = 0;
+    palette_size = 3;
+    ref_conflict_percent = 50;
+    nest_depth = 3;
   }
 
 (* The 2-D layout palette of the paper's examples: row-major,
@@ -84,10 +130,19 @@ let palette =
 
 let array_name q = Printf.sprintf "Q%d" (q + 1)
 
+(* The layouts this configuration draws from: the first [palette_size]
+   entries when positive (tight domains — every nest competes over the
+   same few layouts), the whole palette otherwise. *)
+let palette_for p =
+  if p.palette_size > 0 then
+    Array.sub palette 0 (min p.palette_size (Array.length palette))
+  else palette
+
 let intended_vector p q =
   (* stable per-array draw, independent of nest generation *)
   let rng = Rng.create ((p.seed * 7919) + q) in
-  palette.(Rng.int rng (Array.length palette))
+  let pal = palette_for p in
+  pal.(Rng.int rng (Array.length pal))
 
 let intended_layouts p =
   List.init p.num_arrays (fun q ->
@@ -112,12 +167,13 @@ let independent_outer rng ~skew_percent delta =
   let ok = List.filter independent candidates in
   List.nth ok (Rng.int rng (List.length ok))
 
-(* A planned reference: outer and inner stride columns, or a temporal
-   reference whose inner column is zero with a fixed minor index. *)
+(* A planned reference: one stride column per loop, outermost first.
+   Two-loop nests keep the classic [outer; inner] shape (inner zero for
+   temporal references); deeper nests carry one palette delta per loop
+   so the demanded layout depends on which loop ends up innermost. *)
 type planned_ref = {
   array_ : int;
-  outer : Intvec.t;
-  inner : Intvec.t; (* zero vector for temporal references *)
+  cols : Intvec.t array; (* length = nest depth *)
   fixed : int; (* minor index for rows with no loop dependence *)
   write : bool;
 }
@@ -126,10 +182,10 @@ type planned_nest = { label : string; refs : planned_ref list; cheap : bool }
 
 (* All arrays share one square extent; loop bounds shrink per nest so
    skewed references stay inside it: with per-row coefficient weight
-   w = |outer_r| + |inner_r|, indices span w * (bound - 1), so the nest
+   w = sum_l |cols_l(r)|, indices span w * (bound - 1), so the nest
    runs its loops to bound = (extent - 1) / w_max + 1. *)
 let ref_weight r =
-  let w d = abs r.outer.(d) + abs r.inner.(d) in
+  let w d = Array.fold_left (fun acc c -> acc + abs c.(d)) 0 r.cols in
   max (max (w 0) (w 1)) 1
 
 let nest_bound ~extent refs =
@@ -160,7 +216,28 @@ let plan p =
       List.init k (fun i -> lo + perm.(i))
     end
   in
-  let make_refs arrays_chosen ~conflicting ~allow_temporal =
+  (* Deep nests draw contiguous windows on the array ring instead of
+     independent samples: overlapping windows re-cover the same array
+     pairs, so each pair constraint is a union of several distinct
+     matchings (loose, arc-consistent relations) rather than a single
+     tight bijection, and the constraint graph is a ring of short
+     chords — the bounded-width shape on which chronological search
+     keeps re-solving the same subproblems while learned nogoods cache
+     them. *)
+  let pick_window () =
+    let k =
+      p.min_arrays_per_nest
+      + Rng.int rng (p.max_arrays_per_nest - p.min_arrays_per_nest + 1)
+    in
+    let k = min k p.num_arrays in
+    let start = Rng.int rng p.num_arrays in
+    List.init k (fun i -> (start + i) mod p.num_arrays)
+  in
+  (* [conflict] is consulted once per non-temporal reference: per-nest
+     modes pass a constant, the mixed mode (ref_conflict_percent > 0)
+     passes a fresh draw — per-reference mixing is what keeps demands
+     overlapping across nests instead of scattering wholesale. *)
+  let make_refs arrays_chosen ~conflict ~allow_temporal =
     List.mapi
       (fun pos q ->
         if allow_temporal && Rng.int rng 100 < p.temporal_percent then begin
@@ -170,17 +247,16 @@ let plan p =
           let o = independent_outer rng ~skew_percent:p.skew_percent [| 0; 1 |] in
           {
             array_ = q;
-            outer = o;
-            inner = [| 0; 0 |];
+            cols = [| o; [| 0; 0 |] |];
             fixed = Rng.int rng 4;
             write = pos = 0;
           }
         end
         else begin
           let y =
-            if conflicting then begin
+            if conflict () then begin
               let alternatives =
-                Array.to_list palette
+                Array.to_list (palette_for p)
                 |> List.filter (fun v ->
                        not (Intvec.equal v (intended_vector p q)))
               in
@@ -190,36 +266,123 @@ let plan p =
           in
           let delta = delta_for y in
           let o = independent_outer rng ~skew_percent:p.skew_percent delta in
-          { array_ = q; outer = o; inner = delta; fixed = 0; write = pos = 0 }
+          { array_ = q; cols = [| o; delta |]; fixed = 0; write = pos = 0 }
+        end)
+      arrays_chosen
+  in
+  (* Deep references (nest_depth >= 3): one palette delta per loop, so
+     under each legal loop order the reference demands the layout whose
+     delta sits on the innermost loop.  The nests are read-only — no
+     dependences, every loop order legal — so each nest contributes a
+     full matching between its arrays' palettes: every domain value
+     keeps a support in every pair constraint and arc consistency
+     cannot see the inconsistencies, which live in the global choice of
+     innermost loop per nest.  Aligned references put the intended
+     layout on the last loop, so the original (identity) order is the
+     planted one — and temporal references, whose single active column
+     sits on the first loop, stay demand-free under it; with
+     probability [ref_conflict_percent] a reference scrambles its
+     slots instead, locally breaking the planted order. *)
+  let make_refs_deep arrays_chosen =
+    let pal = palette_for p in
+    let depth = max 2 (min p.nest_depth (Array.length pal)) in
+    List.map
+      (fun q ->
+        if Rng.int rng 100 < p.temporal_percent then begin
+          (* one active column: innermost-invariant (no demand) except
+             under the orders that rotate that column innermost *)
+          let o = delta_for pal.(Rng.int rng (Array.length pal)) in
+          let cols =
+            Array.init depth (fun l -> if l = 0 then o else [| 0; 0 |])
+          in
+          { array_ = q; cols; fixed = Rng.int rng 4; write = false }
+        end
+        else begin
+          let y0 = intended_vector p q in
+          let rest =
+            Array.of_list
+              (List.filter
+                 (fun v -> not (Intvec.equal v y0))
+                 (Array.to_list pal))
+          in
+          let perm = Rng.shuffled_init rng (Array.length rest) in
+          let slots =
+            Array.init depth (fun l ->
+                if l = depth - 1 then y0 else rest.(perm.(l)))
+          in
+          if Rng.int rng 100 < p.ref_conflict_percent then begin
+            let sp = Rng.shuffled_init rng depth in
+            let orig = Array.copy slots in
+            Array.iteri (fun l _ -> slots.(l) <- orig.(sp.(l))) slots
+          end;
+          {
+            array_ = q;
+            cols = Array.map delta_for slots;
+            fixed = 0;
+            write = false;
+          }
         end)
       arrays_chosen
   in
   let nests = ref [] in
   for n = 0 to p.num_nests - 1 do
+    if p.nest_depth >= 3 then
+      let arrays_chosen = pick_window () in
+      (* deep regime: hardness comes from the per-nest innermost-loop
+         choice, not from per-nest conflicts or twins *)
+      nests :=
+        { label = Printf.sprintf "deep%d" n;
+          refs = make_refs_deep arrays_chosen;
+          cheap = false }
+        :: !nests
+    else begin
     let arrays_chosen = pick_arrays () in
+    if p.ref_conflict_percent > 0 then begin
+      (* mixed mode: every nest blends intended and conflicting pulls at
+         reference granularity; no twins, satisfiability is statistical
+         (the hard family's phase-transition regime) *)
+      let refs =
+        make_refs arrays_chosen
+          ~conflict:(fun () -> Rng.int rng 100 < p.ref_conflict_percent)
+          ~allow_temporal:true
+      in
+      nests := { label = Printf.sprintf "mixed%d" n; refs; cheap = false } :: !nests
+    end
+    else begin
     let conflicting = Rng.int rng 100 < p.conflict_percent in
     if conflicting then begin
       (* expensive conflicting nest ... *)
-      let refs = make_refs arrays_chosen ~conflicting:true ~allow_temporal:true in
-      nests :=
-        { label = Printf.sprintf "conflict%d" n; refs; cheap = false } :: !nests;
-      (* ... plus its cheaper aligned twin over the same arrays, keeping
-         the intended combination available in every constraint the
-         conflicting nest creates.  The twin never draws temporal
-         references: it must anchor the intended pair for every array
-         pair of the nest. *)
-      let twin_refs =
-        make_refs arrays_chosen ~conflicting:false ~allow_temporal:false
+      let refs =
+        make_refs arrays_chosen ~conflict:(fun () -> true) ~allow_temporal:true
       in
       nests :=
-        { label = Printf.sprintf "aligned%d_twin" n; refs = twin_refs; cheap = true }
-        :: !nests
+        { label = Printf.sprintf "conflict%d" n; refs; cheap = false } :: !nests;
+      (* ... plus (with probability [twin_percent]) its cheaper aligned
+         twin over the same arrays, keeping the intended combination
+         available in every constraint the conflicting nest creates.
+         The twin never draws temporal references: it must anchor the
+         intended pair for every array pair of the nest.  The
+         short-circuit matters: at the default 100% no random draw is
+         consumed, so classic workloads generate bit-identically. *)
+      if p.twin_percent >= 100 || Rng.int rng 100 < p.twin_percent then begin
+        let twin_refs =
+          make_refs arrays_chosen ~conflict:(fun () -> false)
+            ~allow_temporal:false
+        in
+        nests :=
+          { label = Printf.sprintf "aligned%d_twin" n;
+            refs = twin_refs;
+            cheap = true }
+          :: !nests
+      end
     end
     else begin
       let refs =
-        make_refs arrays_chosen ~conflicting:false ~allow_temporal:true
+        make_refs arrays_chosen ~conflict:(fun () -> false) ~allow_temporal:true
       in
       nests := { label = Printf.sprintf "aligned%d" n; refs; cheap = false } :: !nests
+    end
+    end
     end
   done;
   List.rev !nests
@@ -228,12 +391,17 @@ let plan p =
    constants lift negative strides back into [0, extent). *)
 let reference_indices ~bound r =
   List.init 2 (fun d ->
-      let co = r.outer.(d) and cd = r.inner.(d) in
-      let neg_magnitude = max 0 (-co) + max 0 (-cd) in
-      let lift =
-        if co = 0 && cd = 0 then r.fixed else neg_magnitude * (bound - 1)
+      let coeffs = Array.map (fun c -> c.(d)) r.cols in
+      let neg_magnitude =
+        Array.fold_left (fun acc c -> acc + max 0 (-c)) 0 coeffs
       in
-      Affine.{ coeffs = [| co; cd |]; const = lift })
+      let lift =
+        if Array.for_all (fun c -> c = 0) coeffs then r.fixed
+        else neg_magnitude * (bound - 1)
+      in
+      Affine.{ coeffs; const = lift })
+
+let loop_vars = [| "i"; "j"; "k"; "l"; "m"; "n" |]
 
 let realize p ~extent =
   let planned = plan p in
@@ -246,11 +414,16 @@ let realize p ~extent =
       (fun pn ->
         let bound = nest_bound ~extent pn.refs in
         let bound = if pn.cheap then max 2 (bound / 2) else bound in
+        let depth =
+          match pn.refs with r :: _ -> Array.length r.cols | [] -> 2
+        in
         let loops =
-          [
-            { Loop_nest.var = "i"; lo = 0; hi = bound };
-            { Loop_nest.var = "j"; lo = 0; hi = bound };
-          ]
+          List.init depth (fun l ->
+              let var =
+                if l < Array.length loop_vars then loop_vars.(l)
+                else Printf.sprintf "i%d" l
+              in
+              { Loop_nest.var; lo = 0; hi = bound })
         in
         let accesses =
           List.map

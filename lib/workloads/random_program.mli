@@ -54,6 +54,42 @@ type params = {
           [num_arrays / group_size] independent components.  [0] (the
           default) keeps the classic behaviour: any nest may reference
           any array. *)
+  twin_percent : int;
+      (** chance (in %) that a conflicting nest is paired with the
+          aligned twin that re-anchors the intended layouts.  At the
+          default [100] every conflict is anchored and the planted
+          solution survives (and no random draw is consumed, so classic
+          workloads are unchanged); lower values leave some conflicts
+          unanchored, pushing the network toward the satisfiability
+          phase transition — {!intended_layouts} is then only a hint,
+          not a guaranteed solution. *)
+  palette_size : int;
+      (** when positive, intended and conflicting draws use only the
+          first [palette_size] entries of the layout palette
+          (row-major, column-major, diagonal, ...), so every nest
+          competes over the same few layouts and domains stay tight.
+          [0] (the default) draws from the whole 8-entry palette. *)
+  ref_conflict_percent : int;
+      (** when positive, switches generation to the mixed regime: every
+          nest draws each non-temporal reference's pull independently —
+          intended with probability [100 - ref_conflict_percent],
+          a conflicting alternative otherwise — and no twins are
+          generated ([conflict_percent]/[twin_percent] are ignored).
+          Demands then overlap across nests without agreeing wholesale,
+          which is what puts the network near the phase transition
+          instead of making it trivially satisfiable or trivially
+          wiped.  [0] (the default) keeps the classic per-nest
+          regime. *)
+  nest_depth : int;
+      (** loops per nest.  [2] (the default) is the classic shape: one
+          outer stride and one inner (delta) stride per reference.  [3]
+          or more switches generation to the deep regime: every
+          non-temporal reference carries one palette delta per loop, so
+          its demanded layout is decided by which loop the legal
+          restructurings put innermost, and every palette layout keeps a
+          support in every pair constraint — the arc-consistency-blind
+          shape the hard family is built on.  Requires
+          [nest_depth <= palette size] (clamped otherwise). *)
 }
 
 val default : params
@@ -66,6 +102,16 @@ val scale : ?seed:int -> ?group_size:int -> int -> params
     paper-like conflict/skew/temporal rates, and a halved simulation
     extent.  Designed to stress end-to-end throughput at 10/100/1000
     arrays; see DESIGN.md Section 13. *)
+
+val hard : ?seed:int -> int -> params
+(** [hard n] is the hard-family configuration at [n] arrays
+    ("hard-{n}"): [2n] three-deep nests drawing contiguous windows on
+    the array ring, over a 3-layout palette, with half the references
+    scrambling their planted slot order.  Pair constraints are unions
+    of matchings in which every value keeps a support, so the
+    inconsistencies hide from arc consistency and surface only deep in
+    the search.  Built to separate learning solvers from plain
+    backjumpers; see DESIGN.md Section 14. *)
 
 val generate : params -> Mlo_ir.Program.t
 (** The program at full size. *)

@@ -77,6 +77,10 @@ let med_im04 () =
       temporal_percent = 30;
       elem_size = 4;
       group_size = 0;
+      twin_percent = 100;
+      palette_size = 0;
+      ref_conflict_percent = 0;
+      nest_depth = 2;
     }
     ~description:"medical image reconstruction" ~domain:258 ~data_kb:825.55
     ~solution:(7.14, 97.34, 12.22)
@@ -98,6 +102,10 @@ let radar () =
       temporal_percent = 20;
       elem_size = 4;
       group_size = 0;
+      twin_percent = 100;
+      palette_size = 0;
+      ref_conflict_percent = 0;
+      nest_depth = 2;
     }
     ~description:"radar imaging" ~domain:422 ~data_kb:905.28
     ~solution:(11.33, 129.51, 53.81)
@@ -119,6 +127,10 @@ let shape () =
       temporal_percent = 15;
       elem_size = 4;
       group_size = 0;
+      twin_percent = 100;
+      palette_size = 0;
+      ref_conflict_percent = 0;
+      nest_depth = 2;
     }
     ~description:"pattern recognition and shape analysis" ~domain:656
     ~data_kb:1284.06
@@ -141,6 +153,10 @@ let track () =
       temporal_percent = 15;
       elem_size = 4;
       group_size = 0;
+      twin_percent = 100;
+      palette_size = 0;
+      ref_conflict_percent = 0;
+      nest_depth = 2;
     }
     ~description:"visual tracking control" ~domain:388 ~data_kb:744.80
     ~solution:(10.09, 155.02, 68.50)
@@ -171,6 +187,31 @@ let scale ?seed ?group_size n =
     ~solution:(0., 0., 0.)
     ~exec:(0., 0., 0., 0.)
 
+(* ------------------------------------------------------------------ *)
+(* Hard family                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Phase-transition workloads for the conflict-driven solver bench:
+   three-deep nests over windows of an array ring, half the references
+   scrambled ({!Random_program.hard}).  Like the scale family these
+   reproduce no paper numbers, so the paper columns are zeroed and the
+   candidate set is whatever the nests demand. *)
+let hard ?seed n =
+  let params = Random_program.hard ?seed n in
+  let program = Random_program.generate params in
+  let sim_program = Random_program.generate_sim params in
+  spec ~name:params.Random_program.name
+    ~description:
+      (Printf.sprintf
+         "hard family: %d arrays, %d deep nests on the array ring, near \
+          the phase transition"
+         n params.Random_program.num_nests)
+    ~program ~sim_program
+    ~candidates:(fun _ -> [])
+    ~domain:0 ~data_kb:0.
+    ~solution:(0., 0., 0.)
+    ~exec:(0., 0., 0., 0.)
+
 let by_name name =
   let target = String.lowercase_ascii name in
   match
@@ -180,10 +221,15 @@ let by_name name =
   with
   | Some s -> s
   | None -> (
-    (* "scale-N" instantiates the scale family at N arrays *)
+    (* "scale-N" / "hard-N" instantiate the synthetic families at N
+       arrays *)
     match String.split_on_char '-' target with
     | [ "scale"; n ] -> (
       match int_of_string_opt n with
       | Some n when n > 0 -> scale n
+      | Some _ | None -> raise Not_found)
+    | [ "hard"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> hard n
       | Some _ | None -> raise Not_found)
     | _ -> raise Not_found)

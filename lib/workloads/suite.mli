@@ -36,7 +36,14 @@ val scale : ?seed:int -> ?group_size:int -> int -> Spec.t
     throughput work, with zeroed paper columns (they reproduce nothing)
     and no candidate padding. *)
 
+val hard : ?seed:int -> int -> Spec.t
+(** The hard family ({!Random_program.hard}) wrapped as a spec: dense
+    single-component networks near the satisfiability phase transition,
+    for separating the learning solver from the plain backjumpers.
+    Paper columns zeroed, no candidate padding. *)
+
 val by_name : string -> Spec.t
 (** Case-insensitive lookup ("mxm", "radar", ...).  Names of the form
-    "scale-N" (e.g. "scale-100") instantiate the scale family at [N]
-    arrays.  Raises [Not_found]. *)
+    "scale-N" (e.g. "scale-100") and "hard-N" (e.g. "hard-20")
+    instantiate the synthetic families at [N] arrays.  Raises
+    [Not_found]. *)

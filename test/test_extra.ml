@@ -73,6 +73,7 @@ let test_explain_flags_unserved () =
       solver_stats = None;
       heuristic_evaluations = None;
       pruned_values = None;
+      portfolio_winner = None;
       elapsed_s = 0.;
     }
   in
