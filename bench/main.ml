@@ -269,6 +269,36 @@ let locality_tests =
              matmul32_sweep));
   ]
 
+(* The optimizing axis: branch and bound over the static cost model on
+   the paper networks, next to the first-solution learner on the same
+   pre-built network — the pair prices the optimality proof.  The
+   profiler is staged outside the timed thunk (its memo makes repeat
+   queries cheap anyway), so the kernel times the search itself. *)
+let bnb_tests =
+  List.concat_map
+    (fun spec ->
+      let build = Spec.extract spec in
+      let net = build.Build.network in
+      let prof = Locality.profiler spec.Spec.program in
+      let cost name v =
+        Array.fold_left ( +. ) 0.0
+          (prof ~array_name:name
+             ~layout:(Mlo_csp.Network.value net (Build.var_of_array build name) v))
+      in
+      [
+        Test.make
+          ~name:(Printf.sprintf "bnb/solve-bnb:%s" spec.Spec.name)
+          (Staged.stage (fun () ->
+               ignore (Mlo_csp.Bnb.branch_and_bound ~cost net)));
+        Test.make
+          ~name:(Printf.sprintf "bnb/solve-cdl:%s" spec.Spec.name)
+          (Staged.stage (fun () ->
+               ignore
+                 (Mlo_csp.Cdl.solve_components
+                    ~config:Mlo_csp.Cdl.default_config net)));
+      ])
+    [ Lazy.force mxm; Lazy.force med ]
+
 (* Per-kernel robust statistics over the raw per-sample ns/run values.
    Percentiles use linear interpolation between order statistics; MAD is
    the median absolute deviation from the median (unscaled), a spread
@@ -309,7 +339,8 @@ let stats_of samples =
 let benchmark ?(filter = "") ~quota () =
   let tests =
     table1_tests @ table2_tests @ fig4_tests @ table3_tests @ prune_tests
-    @ locality_tests @ Lazy.force scale_tests @ Lazy.force hard_tests
+    @ locality_tests @ bnb_tests @ Lazy.force scale_tests
+    @ Lazy.force hard_tests
   in
   let tests =
     if filter = "" then tests

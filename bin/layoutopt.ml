@@ -58,7 +58,7 @@ let workload_arg =
   Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
 let scheme_names =
-  [ "heuristic"; "base"; "enhanced"; "enhanced-ac"; "cdl"; "portfolio" ]
+  [ "heuristic"; "base"; "enhanced"; "enhanced-ac"; "cdl"; "portfolio"; "bnb" ]
 
 let scheme_arg =
   let doc =
@@ -117,9 +117,49 @@ let learn_limit_arg =
     & opt int Mlo_csp.Cdl.default_config.Mlo_csp.Cdl.learn_limit
     & info [ "learn-limit" ] ~docv:"N" ~doc)
 
+let bound_slack_arg =
+  let doc =
+    "For -s bnb: prune a subtree when its lower bound times (1 + $(docv)) \
+     reaches the incumbent.  0 (the default) searches to the exact \
+     optimum; a positive value trades optimality for speed with a \
+     (1 + $(docv))-approximation guarantee."
+  in
+  Arg.(value & opt float 0.0 & info [ "bound-slack" ] ~docv:"S" ~doc)
+
+(* A negative slack would make the bound inadmissible — reject it at the
+   CLI boundary with the usual one-line error. *)
+let validated_bound_slack s =
+  if Float.is_nan s || s < 0.0 then begin
+    Printf.eprintf
+      "layoutopt: --bound-slack must be non-negative (got %g)\n" s;
+    exit 2
+  end;
+  s
+
+let objective_names = [ "misses"; "lines" ]
+
+let objective_arg =
+  let doc =
+    Printf.sprintf
+      "For -s bnb: cost the search minimizes; one of %s (estimated L1 \
+       misses, or distinct L1 lines — the cold-miss floor)."
+      (String.concat ", " objective_names)
+  in
+  Arg.(value & opt string "misses" & info [ "objective" ] ~docv:"OBJ" ~doc)
+
+let objective_of name =
+  match String.lowercase_ascii name with
+  | "misses" -> Optimizer.Estimated_misses
+  | "lines" -> Optimizer.Distinct_lines
+  | other ->
+    Printf.eprintf
+      "layoutopt: unknown objective '%s' (valid objectives: %s)\n" other
+      (String.concat ", " objective_names);
+    exit 2
+
 (* An unknown scheme must die with a single-line error naming the
    alternatives — not an exception trace or a usage dump. *)
-let scheme_of ~seed ~restarts ~learn_limit name =
+let scheme_of ~seed ~restarts ~learn_limit ?(bound_slack = 0.0) name =
   let cdl_config =
     { Mlo_csp.Cdl.default_config with Mlo_csp.Cdl.restarts; learn_limit }
   in
@@ -134,6 +174,11 @@ let scheme_of ~seed ~restarts ~learn_limit name =
       { Mlo_csp.Portfolio.default_config with
         Mlo_csp.Portfolio.seed;
         cdl = cdl_config }
+  | "bnb" ->
+    Optimizer.Bnb
+      { Mlo_csp.Bnb.default_config with
+        Mlo_csp.Bnb.bound_slack;
+        learn_limit }
   | other ->
     Printf.eprintf "layoutopt: unknown scheme '%s' (valid schemes: %s)\n"
       other
@@ -203,15 +248,17 @@ let pp_pruned ppf = function
   | None -> ()
 
 let solve_cmd =
-  let run workload scheme seed max_checks restarts learn_limit explain prune
-      domains trace =
+  let run workload scheme seed max_checks restarts learn_limit bound_slack
+      objective explain prune domains trace =
     let spec = spec_of_workload workload in
-    let scheme = scheme_of ~seed ~restarts ~learn_limit scheme in
+    let bound_slack = validated_bound_slack bound_slack in
+    let objective = objective_of objective in
+    let scheme = scheme_of ~seed ~restarts ~learn_limit ~bound_slack scheme in
     let domains = validated_domains domains in
     match
       with_trace trace @@ fun () ->
       Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
-        ~prune_dominated:prune ?domains scheme spec.Spec.program
+        ~prune_dominated:prune ?domains ~objective scheme spec.Spec.program
     with
     | exception Optimizer.No_solution msg ->
       Format.printf "no solution: %s@." msg;
@@ -232,6 +279,12 @@ let solve_cmd =
       (match sol.Optimizer.heuristic_evaluations with
       | Some n -> Format.printf "heuristic: %d combinations scored@." n
       | None -> ());
+      (match sol.Optimizer.objective_value with
+      | Some c ->
+        Format.printf "objective: %s = %.17g@."
+          (Optimizer.objective_label objective)
+          c
+      | None -> ());
       Format.printf "elapsed: %.4fs@." sol.Optimizer.elapsed_s;
       if explain then
         Format.printf "@.%a@." Mlo_core.Explain.pp
@@ -241,8 +294,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Choose memory layouts for a workload")
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
-      $ restarts_arg $ learn_limit_arg $ explain_flag $ prune_flag
-      $ domains_arg $ trace_arg)
+      $ restarts_arg $ learn_limit_arg $ bound_slack_arg $ objective_arg
+      $ explain_flag $ prune_flag $ domains_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)

@@ -672,11 +672,15 @@ let permute_form perm (nf : Compiled_trace.nest_form) =
    physical program identity and held through a [Weak] slot, so a cache
    entry dies with its program.  One mutex per entry: queries may come
    from worker Domains solving components in parallel. *)
-module Profile_key = struct
-  type t = string * Mlo_layout.Layout.t
+type metric = Misses | Lines
 
-  let equal (a, la) (b, lb) = String.equal a b && Mlo_layout.Layout.equal la lb
-  let hash (a, l) = Hashtbl.hash (a, Mlo_layout.Layout.hash l)
+module Profile_key = struct
+  type t = string * Mlo_layout.Layout.t * metric
+
+  let equal (a, la, ma) (b, lb, mb) =
+    String.equal a b && ma = mb && Mlo_layout.Layout.equal la lb
+
+  let hash (a, l, m) = Hashtbl.hash (a, Mlo_layout.Layout.hash l, m)
 end
 
 module Profile_tbl = Hashtbl.Make (Profile_key)
@@ -755,11 +759,11 @@ let profile_entry ~geometry prog =
     profile_entries := e :: List.rev alive;
     e
 
-let profiler ?(geometry = default_geometry) prog =
+let profiler ?(geometry = default_geometry) ?(metric = Misses) prog =
   let entry = profile_entry ~geometry prog in
   fun ~array_name ~layout ->
     Mutex.protect entry.pe_lock @@ fun () ->
-    let key = (array_name, layout) in
+    let key = (array_name, layout, metric) in
     let profile =
       match Profile_tbl.find_opt entry.pe_profiles key with
       | Some p -> p
@@ -784,7 +788,11 @@ let profiler ?(geometry = default_geometry) prog =
                       List.fold_left
                         (fun a g ->
                           if String.equal g.g_array array_name then
-                            a +. g.g_misses
+                            a
+                            +.
+                            match metric with
+                            | Misses -> g.g_misses
+                            | Lines -> g.g_lines
                           else a)
                         0.0 n.n_groups
                     in

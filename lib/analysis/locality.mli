@@ -87,8 +87,15 @@ val analyze :
     number of accesses — no address stream is walked.  Raises like
     {!Mlo_cachesim.Address_map.build} on rank mismatches. *)
 
+type metric = Misses | Lines
+(** What {!profiler} charges a candidate layout per group: the
+    closed-form miss estimate ([g_misses], the default) or the distinct
+    L1 line count ([g_lines], the cold-miss floor — a capacity-blind
+    objective for comparing layouts by footprint alone). *)
+
 val profiler :
   ?geometry:Mlo_cachesim.Cache.geometry ->
+  ?metric:metric ->
   Mlo_ir.Program.t ->
   array_name:string ->
   layout:Mlo_layout.Layout.t ->
@@ -103,7 +110,7 @@ val profiler :
     with.
 
     Queries are memoized: a profile is a pure function of
-    (program, geometry, array, layout), so results are cached under the
+    (program, geometry, metric, array, layout), so results are cached under the
     {e physical} identity of [prog] and shared by every profiler over
     the same program object — re-profiling a program the process has
     already costed (a solver service, repeated pruning passes) only pays

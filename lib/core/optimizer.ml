@@ -18,6 +18,9 @@ type scheme =
   | Custom of Solver.config
   | Cdl of Mlo_csp.Cdl.config
   | Portfolio of Mlo_csp.Portfolio.config
+  | Bnb of Mlo_csp.Bnb.config
+
+type objective = Estimated_misses | Distinct_lines
 
 type solution = {
   layouts : (string * Layout.t) list;
@@ -26,13 +29,14 @@ type solution = {
   heuristic_evaluations : int option;
   pruned_values : Mlo_netgen.Prune.info option;
   portfolio_winner : string option;
+  objective_value : float option;
   elapsed_s : float;
 }
 
 exception No_solution of string
 
 let config_of_scheme ?max_checks = function
-  | Heuristic | Cdl _ | Portfolio _ -> None
+  | Heuristic | Cdl _ | Portfolio _ | Bnb _ -> None
   | Base seed -> Some (Schemes.base ~seed ?max_checks ())
   | Enhanced seed -> Some (Schemes.enhanced ~seed ?max_checks ())
   | Enhanced_ac seed -> Some (Schemes.enhanced_with_ac ~seed ?max_checks ())
@@ -46,9 +50,36 @@ let scheme_label = function
   | Custom _ -> "custom"
   | Cdl _ -> "cdl"
   | Portfolio _ -> "portfolio"
+  | Bnb _ -> "bnb"
+
+let objective_label = function
+  | Estimated_misses -> "misses"
+  | Distinct_lines -> "lines"
+
+let metric_of_objective = function
+  | Estimated_misses -> Mlo_analysis.Locality.Misses
+  | Distinct_lines -> Mlo_analysis.Locality.Lines
+
+(* The separable layout charge the branch-and-bound scheme minimizes:
+   one array under one candidate layout, every other array at its
+   default, summed over the nests (Locality.profiler memoizes, so
+   repeated queries from component solves pay hashtable lookups). *)
+let layout_cost ?geometry ~objective prog =
+  let prof =
+    Mlo_analysis.Locality.profiler ?geometry
+      ~metric:(metric_of_objective objective) prog
+  in
+  fun ~array_name ~layout ->
+    Array.fold_left ( +. ) 0.0 (prof ~array_name ~layout)
+
+let objective_cost ?geometry ?(objective = Estimated_misses) prog layouts =
+  let cost = layout_cost ?geometry ~objective prog in
+  List.fold_left
+    (fun acc (name, layout) -> acc +. cost ~array_name:name ~layout)
+    0.0 layouts
 
 let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
-    scheme prog =
+    ?(objective = Estimated_misses) scheme prog =
   Trace.with_span ~cat:"optimizer" "optimize"
     ~args:
       [
@@ -75,9 +106,11 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
       heuristic_evaluations = Some r.Propagation.evaluations;
       pruned_values = None;
       portfolio_winner = None;
+      objective_value = None;
       elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
     }
-  | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ | Cdl _ | Portfolio _ ->
+  | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ | Cdl _ | Portfolio _
+  | Bnb _ ->
     let build =
       Trace.with_span ~cat:"optimizer" "build-network" (fun () ->
           Build.build ?candidates prog)
@@ -120,6 +153,24 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
             stats = r.Mlo_csp.Portfolio.stats;
           },
           r.Mlo_csp.Portfolio.winner )
+      | Bnb cfg ->
+        let cfg =
+          match max_checks with
+          | None -> cfg
+          | Some m -> { cfg with Mlo_csp.Bnb.max_checks = Some m }
+        in
+        let cost_of_layout = layout_cost ~objective prog in
+        let net = build.Build.network in
+        let cost name v =
+          cost_of_layout ~array_name:name
+            ~layout:
+              (Mlo_csp.Network.value net (Build.var_of_array build name) v)
+        in
+        ( Trace.with_span ~cat:"optimizer" "bnb"
+            ~args:[ ("objective", Trace.Str (objective_label objective)) ]
+            (fun () ->
+              Mlo_csp.Bnb.branch_and_bound ~config:cfg ~domains ~cost net),
+          None )
       | Heuristic | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ ->
         let config =
           Option.get (config_of_scheme ?max_checks scheme)
@@ -150,6 +201,11 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
         Trace.with_span ~cat:"optimizer" "restructure" (fun () ->
             Select.restructure prog lookup)
       in
+      let objective_value =
+        match scheme with
+        | Bnb _ -> Some (objective_cost ~objective prog layouts)
+        | _ -> None
+      in
       {
         layouts;
         restructured;
@@ -157,6 +213,7 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
         heuristic_evaluations = None;
         pruned_values = prune_info;
         portfolio_winner = winner;
+        objective_value;
         elapsed_s = Mlo_csp.Clock.wall_s () -. t0;
       })
 

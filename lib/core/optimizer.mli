@@ -20,6 +20,16 @@ type scheme =
   | Portfolio of Mlo_csp.Portfolio.config
       (** racing portfolio over enhanced / enhanced-ac / cdl /
           min-conflicts ({!Mlo_csp.Portfolio}) *)
+  | Bnb of Mlo_csp.Bnb.config
+      (** optimizing branch and bound ({!Mlo_csp.Bnb}): searches the
+          satisfying assignments for the one minimizing the static cost
+          model's [objective], instead of stopping at the first *)
+
+type objective = Estimated_misses | Distinct_lines
+(** What the [Bnb] scheme minimizes, per array and candidate layout,
+    summed over the program's nests: the closed-form L1 miss estimate
+    ({!Mlo_analysis.Locality.profiler}, the default) or the distinct
+    L1 line count (the capacity-blind cold-miss floor). *)
 
 type solution = {
   layouts : (string * Mlo_layout.Layout.t) list;
@@ -37,6 +47,9 @@ type solution = {
   portfolio_winner : string option;
       (** which portfolio member's answer was taken ([Some] only for
           [Portfolio]) *)
+  objective_value : float option;
+      (** the chosen layouts' total cost under the requested objective
+          ([Some] only for [Bnb]; computed by {!objective_cost}) *)
   elapsed_s : float;  (** end-to-end solution time *)
 }
 
@@ -46,14 +59,31 @@ exception No_solution of string
 
 val scheme_label : scheme -> string
 (** Short stable name ("heuristic", "base", "enhanced", "enhanced-ac",
-    "custom", "cdl", "portfolio") — used for trace span arguments and CLI
-    messages. *)
+    "custom", "cdl", "portfolio", "bnb") — used for trace span arguments
+    and CLI messages. *)
+
+val objective_label : objective -> string
+(** "misses" or "lines" — the CLI's [--objective] vocabulary. *)
+
+val objective_cost :
+  ?geometry:Mlo_cachesim.Cache.geometry ->
+  ?objective:objective ->
+  Mlo_ir.Program.t ->
+  (string * Mlo_layout.Layout.t) list ->
+  float
+(** Total cost of a layout assignment under an objective: per array, the
+    {!Mlo_analysis.Locality.profiler} charge of its layout (every other
+    array at its default), summed over the listed arrays in list order.
+    This is the exact function the [Bnb] scheme minimizes over the
+    satisfying assignments, so solutions of different schemes compare
+    directly through it. *)
 
 val optimize :
   ?candidates:(string -> Mlo_layout.Layout.t list) ->
   ?max_checks:int ->
   ?prune_dominated:bool ->
   ?domains:int ->
+  ?objective:objective ->
   scheme ->
   Mlo_ir.Program.t ->
   solution
@@ -67,7 +97,8 @@ val optimize :
     merged stats are identical to the serial solve).  For [Portfolio],
     [domains] instead sizes the racing pool (the portfolio runs on the
     whole network) and [solution.portfolio_winner] names the member whose
-    answer was taken. *)
+    answer was taken.  [objective] (default [Estimated_misses]) selects
+    the cost the [Bnb] scheme minimizes; the other schemes ignore it. *)
 
 val lookup : solution -> string -> Mlo_layout.Layout.t option
 

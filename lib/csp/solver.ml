@@ -571,6 +571,8 @@ let merge_component_stats stats ~n ~vars (s : Stats.t) =
   stats.Stats.learned <- stats.Stats.learned + s.Stats.learned;
   stats.Stats.forgotten <- stats.Stats.forgotten + s.Stats.forgotten;
   stats.Stats.restarts <- stats.Stats.restarts + s.Stats.restarts;
+  stats.Stats.bounded <- stats.Stats.bounded + s.Stats.bounded;
+  stats.Stats.incumbents <- stats.Stats.incumbents + s.Stats.incumbents;
   if s.Stats.max_depth > stats.Stats.max_depth then
     stats.Stats.max_depth <- s.Stats.max_depth;
   Array.iteri

@@ -7,6 +7,8 @@ type t = {
   mutable learned : int;
   mutable forgotten : int;
   mutable restarts : int;
+  mutable bounded : int;
+  mutable incumbents : int;
   mutable max_depth : int;
   mutable elapsed_s : float;
   mutable cpu_s : float;
@@ -24,6 +26,8 @@ let create () =
     learned = 0;
     forgotten = 0;
     restarts = 0;
+    bounded = 0;
+    incumbents = 0;
     max_depth = 0;
     elapsed_s = 0.;
     cpu_s = 0.;
@@ -40,6 +44,8 @@ let reset t =
   t.learned <- 0;
   t.forgotten <- 0;
   t.restarts <- 0;
+  t.bounded <- 0;
+  t.incumbents <- 0;
   t.max_depth <- 0;
   t.elapsed_s <- 0.;
   t.cpu_s <- 0.;
@@ -73,6 +79,8 @@ let add a b =
     learned = a.learned + b.learned;
     forgotten = a.forgotten + b.forgotten;
     restarts = a.restarts + b.restarts;
+    bounded = a.bounded + b.bounded;
+    incumbents = a.incumbents + b.incumbents;
     max_depth = max a.max_depth b.max_depth;
     elapsed_s = a.elapsed_s +. b.elapsed_s;
     cpu_s = a.cpu_s +. b.cpu_s;
@@ -93,6 +101,8 @@ let to_json t =
       ("learned", Num (float_of_int t.learned));
       ("forgotten", Num (float_of_int t.forgotten));
       ("restarts", Num (float_of_int t.restarts));
+      ("bounded", Num (float_of_int t.bounded));
+      ("incumbents", Num (float_of_int t.incumbents));
       ("max_depth", Num (float_of_int t.max_depth));
       ("elapsed_s", Num t.elapsed_s);
       ("cpu_s", Num t.cpu_s);
@@ -102,11 +112,13 @@ let to_json t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d%s depth=%d \
+    "nodes=%d checks=%d backtracks=%d backjumps=%d prunings=%d%s%s depth=%d \
      time=%.4fs cpu=%.4fs"
     t.nodes t.checks t.backtracks t.backjumps t.prunings
     (if t.learned + t.forgotten + t.restarts = 0 then ""
      else
        Printf.sprintf " learned=%d forgotten=%d restarts=%d" t.learned
          t.forgotten t.restarts)
+    (if t.bounded + t.incumbents = 0 then ""
+     else Printf.sprintf " bounded=%d incumbents=%d" t.bounded t.incumbents)
     t.max_depth t.elapsed_s t.cpu_s

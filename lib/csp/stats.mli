@@ -23,6 +23,12 @@ type t = {
           the non-learning schemes *)
   mutable forgotten : int;  (** learned nogoods dropped by store reduction *)
   mutable restarts : int;  (** Luby restarts taken by the search *)
+  mutable bounded : int;
+      (** subtrees cut by the branch-and-bound lower bound ({!Bnb}); 0
+          for the satisfiability-only schemes *)
+  mutable incumbents : int;
+      (** strict incumbent improvements recorded by {!Bnb} (the first
+          solution found counts as one) *)
   mutable max_depth : int;  (** deepest consistent partial instantiation *)
   mutable elapsed_s : float;
       (** monotonic wall-clock seconds ({!Clock.wall_s}), if timed *)

@@ -74,6 +74,7 @@ let test_explain_flags_unserved () =
       heuristic_evaluations = None;
       pruned_values = None;
       portfolio_winner = None;
+      objective_value = None;
       elapsed_s = 0.;
     }
   in
