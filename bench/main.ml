@@ -299,6 +299,113 @@ let bnb_tests =
       ])
     [ Lazy.force mxm; Lazy.force med ]
 
+(* The certifying axis: the same hard-80 cdl solve bare and with proof
+   event recording (the per-search work `solve --proof` adds — the
+   bare-vs-events p50 ratio is the under-10% logging-overhead claim of
+   DESIGN.md Section 16, recorded as data in BENCH_solver.json), the
+   one-time certificate assembly (header digest plus step list, a fixed
+   O(network) cost independent of search length), and the independent
+   checker replaying the finished certificate. *)
+let record_cdl net =
+  let comp_data = Hashtbl.create 8 in
+  let on_event ~comp ~vars ev =
+    let _, steps_r, outcome_r =
+      match Hashtbl.find_opt comp_data comp with
+      | Some s -> s
+      | None ->
+        let s = (vars, ref [], ref None) in
+        Hashtbl.add comp_data comp s;
+        s
+    in
+    match ev with
+    | Solver.Learned { dead; lits } ->
+      steps_r :=
+        Mlo_verify.Proof.Ng
+          {
+            comp;
+            dead = vars.(dead);
+            lits = Array.map (fun (x, v) -> (vars.(x), v)) lits;
+          }
+        :: !steps_r
+    | Solver.Incumbent _ -> ()
+    | Solver.Finished o -> outcome_r := Some o
+  in
+  let r =
+    Mlo_csp.Cdl.solve_components ~config:Mlo_csp.Cdl.default_config
+      ~on_event net
+  in
+  (r, comp_data)
+
+let assemble_cdl ~workload net (r, comp_data) =
+  let unsat =
+    match r.Solver.outcome with Solver.Unsatisfiable -> true | _ -> false
+  in
+  let steps =
+    Hashtbl.fold (fun k _ acc -> k :: acc) comp_data []
+    |> List.sort compare
+    |> List.concat_map (fun k ->
+           let vars, steps_r, outcome_r = Hashtbl.find comp_data k in
+           let keep =
+             (not unsat)
+             ||
+             match !outcome_r with
+             | Some Solver.Unsatisfiable -> true
+             | _ -> false
+           in
+           if not keep then []
+           else
+             Mlo_verify.Proof.Comp { id = k; vars = Array.copy vars }
+             :: List.rev !steps_r)
+  in
+  let verdict =
+    match r.Solver.outcome with
+    | Solver.Solution a -> Mlo_verify.Proof.Sat a
+    | Solver.Unsatisfiable -> Mlo_verify.Proof.Unsat
+    | Solver.Aborted -> Mlo_verify.Proof.Aborted
+  in
+  let n = Mlo_csp.Network.num_vars net in
+  {
+    Mlo_verify.Proof.header =
+      {
+        Mlo_verify.Proof.workload;
+        scheme = "cdl";
+        objective = None;
+        pruned = false;
+        slack = 0.0;
+        names = Array.init n (Mlo_csp.Network.name net);
+        domain_sizes = Array.init n (Mlo_csp.Network.domain_size net);
+        digest = Mlo_verify.Proof.digest net;
+      };
+    steps;
+    verdict = Some verdict;
+  }
+
+let proof_tests =
+  lazy
+    (let _, _, build =
+       List.find (fun (n, _, _) -> n = 80) (Lazy.force hard_builds)
+     in
+     let net = build.Build.network in
+     let recorded = record_cdl net in
+     let proof = assemble_cdl ~workload:"hard-80" net recorded in
+     [
+       Test.make ~name:"proof/solve-cdl:hard-80"
+         (Staged.stage (fun () ->
+              ignore
+                (Mlo_csp.Cdl.solve_components
+                   ~config:Mlo_csp.Cdl.default_config net)));
+       Test.make ~name:"proof/solve-cdl+events:hard-80"
+         (Staged.stage (fun () -> ignore (record_cdl net)));
+       Test.make ~name:"proof/assemble:hard-80"
+         (Staged.stage (fun () ->
+              ignore (assemble_cdl ~workload:"hard-80" net recorded)));
+       Test.make ~name:"proof/check:hard-80"
+         (Staged.stage (fun () ->
+              match Mlo_verify.Checker.check net proof with
+              | Ok () -> ()
+              | Error msg -> failwith msg));
+     ])
+
 (* Per-kernel robust statistics over the raw per-sample ns/run values.
    Percentiles use linear interpolation between order statistics; MAD is
    the median absolute deviation from the median (unscaled), a spread
@@ -340,7 +447,7 @@ let benchmark ?(filter = "") ~quota () =
   let tests =
     table1_tests @ table2_tests @ fig4_tests @ table3_tests @ prune_tests
     @ locality_tests @ bnb_tests @ Lazy.force scale_tests
-    @ Lazy.force hard_tests
+    @ Lazy.force hard_tests @ Lazy.force proof_tests
   in
   let tests =
     if filter = "" then tests

@@ -24,6 +24,8 @@ module Diagnostic = Mlo_analysis.Diagnostic
 module Locality = Mlo_analysis.Locality
 module Costcheck = Mlo_analysis.Costcheck
 module Prune = Mlo_netgen.Prune
+module Proof = Mlo_verify.Proof
+module Checker = Mlo_verify.Checker
 
 open Cmdliner
 
@@ -247,18 +249,42 @@ let pp_pruned ppf = function
       info.Prune.before
   | None -> ()
 
+let proof_arg =
+  let doc =
+    "Write a memlayout-proof/1 certificate of the solver run to $(docv) \
+     (NDJSON), checkable with 'layoutopt verify $(docv)'.  Not available \
+     for -s heuristic, which runs no solver to certify."
+  in
+  Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
+
 let solve_cmd =
   let run workload scheme seed max_checks restarts learn_limit bound_slack
-      objective explain prune domains trace =
+      objective explain prune domains proof_file trace =
     let spec = spec_of_workload workload in
     let bound_slack = validated_bound_slack bound_slack in
     let objective = objective_of objective in
     let scheme = scheme_of ~seed ~restarts ~learn_limit ~bound_slack scheme in
     let domains = validated_domains domains in
+    (match (proof_file, scheme) with
+    | Some _, Optimizer.Heuristic ->
+      Printf.eprintf
+        "layoutopt: --proof is not available for -s heuristic (no solver \
+         run to certify)\n";
+      exit 2
+    | _ -> ());
+    (* The certificate names the workload as the CLI knows it, so
+       'verify' can rebuild the same network through the suite. *)
+    let proof_sink path p =
+      let open Proof in
+      write path { p with header = { p.header with workload } };
+      Format.eprintf "proof written to %s@." path
+    in
+    let proof = Option.map proof_sink proof_file in
     match
       with_trace trace @@ fun () ->
       Optimizer.optimize ~candidates:spec.Spec.candidates ~max_checks
-        ~prune_dominated:prune ?domains ~objective scheme spec.Spec.program
+        ~prune_dominated:prune ?domains ~objective ?proof scheme
+        spec.Spec.program
     with
     | exception Optimizer.No_solution msg ->
       Format.printf "no solution: %s@." msg;
@@ -295,7 +321,7 @@ let solve_cmd =
     Term.(
       const run $ workload_arg $ scheme_arg $ seed_arg $ max_checks_arg
       $ restarts_arg $ learn_limit_arg $ bound_slack_arg $ objective_arg
-      $ explain_flag $ prune_flag $ domains_arg $ trace_arg)
+      $ explain_flag $ prune_flag $ domains_arg $ proof_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -722,6 +748,142 @@ let trace_summary_cmd =
        ~doc:"Summarize a --trace file (per-span totals, events, counters)")
     Term.(const run $ trace_file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let proof_file_arg =
+  let doc = "Certificate produced by 'solve --proof'." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROOF" ~doc)
+
+let verify_json_flag =
+  let doc =
+    "Emit one memlayout-verify/1 JSON document on stdout instead of text."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let verify_cmd =
+  let run file json trace =
+    let code =
+      with_trace trace @@ fun () ->
+      let proof = Proof.read file in
+      (* Everything wrong with the certificate itself — unreadable,
+         unknown workload, failed replay — is a rejection (exit 1), not
+         a usage error: the invocation was fine, the proof is not. *)
+      let outcome =
+        match proof with
+        | Error msg -> Error ("unreadable proof: " ^ msg)
+        | Ok p -> (
+          let w = p.Proof.header.Proof.workload in
+          match Suite.by_name w with
+          | exception Not_found ->
+            Error (Printf.sprintf "unknown workload '%s' in proof header" w)
+          | spec ->
+            let build =
+              Trace.with_span ~cat:"verify" "build-network" (fun () ->
+                  Spec.extract spec)
+            in
+            let net = build.Build.network in
+            let costs =
+              (* Optimal certificates are checked against the exact cost
+                 table the search minimized, rebuilt from the static
+                 locality model over the original domains. *)
+              match p.Proof.verdict with
+              | Some (Proof.Optimal _) ->
+                let objective =
+                  match p.Proof.header.Proof.objective with
+                  | Some "lines" -> Optimizer.Distinct_lines
+                  | _ -> Optimizer.Estimated_misses
+                in
+                let cost =
+                  Optimizer.layout_cost ~objective spec.Spec.program
+                in
+                Some
+                  (Array.init (Network.num_vars net) (fun i ->
+                       let name = Network.name net i in
+                       Array.init (Network.domain_size net i) (fun v ->
+                           cost ~array_name:name
+                             ~layout:(Network.value net i v))))
+              | _ -> None
+            in
+            Trace.with_span ~cat:"verify" "check" (fun () ->
+                Checker.check ?costs net p))
+      in
+      let verdict_label =
+        match proof with
+        | Error _ -> "unreadable"
+        | Ok p -> (
+          match p.Proof.verdict with
+          | None -> "missing"
+          | Some (Proof.Sat _) -> "sat"
+          | Some Proof.Unsat -> "unsat"
+          | Some (Proof.Optimal _) -> "optimal"
+          | Some Proof.Aborted -> "aborted")
+      in
+      let header_field f =
+        match proof with
+        | Ok p -> Json.Str (f p.Proof.header)
+        | Error _ -> Json.Null
+      in
+      let steps =
+        match proof with Ok p -> List.length p.Proof.steps | Error _ -> 0
+      in
+      let diags =
+        match outcome with
+        | Ok () ->
+          [
+            Diagnostic.make Diagnostic.Info ~code:"proof-verified"
+              ~subject:file
+              (Printf.sprintf
+                 "certificate accepted: workload %s, scheme %s, verdict \
+                  %s, %d steps"
+                 (match proof with
+                 | Ok p -> p.Proof.header.Proof.workload
+                 | Error _ -> "?")
+                 (match proof with
+                 | Ok p -> p.Proof.header.Proof.scheme
+                 | Error _ -> "?")
+                 verdict_label steps);
+          ]
+        | Error msg ->
+          [
+            Diagnostic.make Diagnostic.Error ~code:"proof-rejected"
+              ~subject:file msg;
+          ]
+      in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("schema", Json.Str "memlayout-verify/1");
+                  ("file", Json.Str file);
+                  ("workload", header_field (fun h -> h.Proof.workload));
+                  ("scheme", header_field (fun h -> h.Proof.scheme));
+                  ("verdict", Json.Str verdict_label);
+                  ("steps", Json.Num (float_of_int steps));
+                  ( "verified",
+                    Json.Bool (match outcome with Ok () -> true | _ -> false)
+                  );
+                  ( "diagnostics",
+                    Json.Arr (List.map Diagnostic.to_json diags) );
+                ]))
+      else List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) diags;
+      Diagnostic.exit_code diags
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check a solver certificate independently of the solvers: replay \
+          its preprocessing deletions, learned nogoods and incumbents \
+          against the original constraint network with the checker's own \
+          propagation core, then validate the verdict.  Exits 0 when the \
+          certificate is accepted, 1 when it is rejected, 2 on usage \
+          errors.")
+    Term.(const run $ proof_file_arg $ verify_json_flag $ trace_arg)
+
 let all_cmd =
   let run seed max_checks =
     Format.printf "%a@.@." Tables.print_table1 (Tables.run_table1 ());
@@ -744,16 +906,16 @@ let main_cmd =
     ~default:Term.(ret (const (`Help (`Pager, None))))
     (Cmd.info "layoutopt" ~version:"1.0.0" ~doc)
     [ show_cmd; solve_cmd; simulate_cmd; optimize_file_cmd; lint_cmd;
-      analyze_cmd; locality_cmd; table1_cmd; table2_cmd; fig4_cmd;
-      table3_cmd; ablation_cmd; all_cmd; trace_summary_cmd ]
+      analyze_cmd; locality_cmd; verify_cmd; table1_cmd; table2_cmd;
+      fig4_cmd; table3_cmd; ablation_cmd; all_cmd; trace_summary_cmd ]
 
 (* An unknown subcommand must die exactly like an unknown scheme does: a
    single-line error naming the alternatives, exit 2 — not cmdliner's
    multi-line usage dump with its own exit code. *)
 let subcommand_names =
   [ "show"; "solve"; "simulate"; "optimize-file"; "lint"; "analyze";
-    "locality"; "table1"; "table2"; "fig4"; "table3"; "ablation"; "all";
-    "trace-summary" ]
+    "locality"; "verify"; "table1"; "table2"; "fig4"; "table3"; "ablation";
+    "all"; "trace-summary" ]
 
 let () =
   (if Array.length Sys.argv > 1 then

@@ -19,6 +19,7 @@ type report = {
   redundant : (int * int) list;
   wiped : int option;
   unsat_core : (int * int) list option;
+  core_verified : bool option;
 }
 
 let positions net order =
@@ -168,6 +169,16 @@ let analyze net =
     | None -> None
     | Some _ -> pass "unsat-core" (fun () -> Option.map fst (unsat_core net))
   in
+  let core_verified =
+    (* independent confirmation: the certificate checker's own
+       propagation core, restricted to exactly the core's constraints,
+       must reproduce the wipe-out *)
+    Option.map
+      (fun core ->
+        pass "core-verify" (fun () ->
+            Mlo_verify.Checker.refutes ~only:core net))
+      unsat_core
+  in
   let redundant = pass "redundant" (fun () -> redundant_pairs net) in
   let max_degree = ref 0 in
   for i = 0 to n - 1 do
@@ -187,6 +198,7 @@ let analyze net =
     redundant;
     wiped;
     unsat_core;
+    core_verified;
   }
 
 (* -- rendering -------------------------------------------------------- *)
@@ -210,9 +222,13 @@ let diagnostics ~name r =
       add
         (Diagnostic.make Diagnostic.Error ~code:"unsat-core"
            ~subject:(match r.wiped with Some i -> name i | None -> "")
-           (Printf.sprintf "minimal unsat core (%d constraints): %s"
+           (Printf.sprintf "minimal unsat core (%d constraints): %s%s"
               (List.length core)
-              (String.concat ", " (List.map (pair_str ~name) core))))
+              (String.concat ", " (List.map (pair_str ~name) core))
+              (match r.core_verified with
+              | Some true -> " (independently verified)"
+              | Some false -> " (VERIFICATION FAILED)"
+              | None -> "")))
     | None -> ())
   | None -> ());
   if Array.length r.components > 1 then
@@ -320,6 +336,10 @@ let to_json ~name r =
         match r.unsat_core with
         | Some core ->
           Json.Arr (List.map (fun p -> Json.Str (pair_str ~name p)) core)
+        | None -> Json.Null );
+      ( "core_verified",
+        match r.core_verified with
+        | Some b -> Json.Bool b
         | None -> Json.Null );
       ("diagnostics", Json.Arr (List.map Diagnostic.to_json (diagnostics ~name r)));
     ]

@@ -46,6 +46,11 @@ type report = {
   unsat_core : (int * int) list option;
       (** with [wiped]: deletion-minimal constraint set whose AC still
           wipes a domain *)
+  core_verified : bool option;
+      (** with [unsat_core]: whether the independent certificate checker
+          ({!Mlo_verify.Checker.refutes}), propagating over exactly the
+          core's constraints with its own fixpoint, reproduces the
+          wipe-out *)
 }
 
 val width_along : 'a Mlo_csp.Network.t -> int array -> int

@@ -117,7 +117,11 @@ let pp ppf t =
   Format.fprintf ppf "@,%.1f%% of reference executions served@]"
     (100. *. t.served_fraction)
 
-type unsat = { wiped : string; core : (string * string) list }
+type unsat = {
+  wiped : string;
+  core : (string * string) list;
+  core_verified : bool;
+}
 
 let explain_unsat net =
   match Mlo_analysis.Netcheck.unsat_core net with
@@ -128,12 +132,16 @@ let explain_unsat net =
       {
         wiped = name wiped;
         core = List.map (fun (i, j) -> (name i, name j)) core;
+        core_verified = Mlo_verify.Checker.refutes ~only:core net;
       }
 
 let pp_unsat ppf u =
   Format.fprintf ppf
     "@[<v>no arc-consistent value for %s; minimal unsat core (%d \
-     constraints):@,"
-    u.wiped (List.length u.core);
+     constraints, %s):@,"
+    u.wiped (List.length u.core)
+    (if u.core_verified then "independently verified"
+     else "VERIFICATION FAILED")
+  ;
   List.iter (fun (a, b) -> Format.fprintf ppf "  %s-%s@," a b) u.core;
   Format.fprintf ppf "@]"

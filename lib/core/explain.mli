@@ -52,6 +52,10 @@ type unsat = {
   wiped : string;  (** variable whose domain arc consistency empties *)
   core : (string * string) list;
       (** deletion-minimal constraints that still force the wipe-out *)
+  core_verified : bool;
+      (** the core re-checked by the independent certificate checker
+          ({!Mlo_verify.Checker.refutes}): its own propagation over
+          exactly these constraints reproduces the wipe-out *)
 }
 
 val explain_unsat : 'a Mlo_csp.Network.t -> unsat option

@@ -79,7 +79,7 @@ let objective_cost ?geometry ?(objective = Estimated_misses) prog layouts =
     0.0 layouts
 
 let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
-    ?(objective = Estimated_misses) scheme prog =
+    ?(objective = Estimated_misses) ?proof scheme prog =
   Trace.with_span ~cat:"optimizer" "optimize"
     ~args:
       [
@@ -111,15 +111,173 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
     }
   | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ | Cdl _ | Portfolio _
   | Bnb _ ->
-    let build =
+    let build0 =
       Trace.with_span ~cat:"optimizer" "build-network" (fun () ->
           Build.build ?candidates prog)
     in
     let build, prune_info =
       if prune_dominated then
-        let b, info = Mlo_netgen.Prune.apply build in
+        let b, info = Mlo_netgen.Prune.apply build0 in
         (b, Some info)
-      else (build, None)
+      else (build0, None)
+    in
+    (* ---- proof logging -------------------------------------------
+       Certificates are stated against the *original* network
+       [build0], so everything the solvers report on the (possibly
+       pruned) view is translated back through the survivor map.
+       Per-component event streams are buffered by the engines and
+       replayed serially, so the collection below is single-threaded
+       even under [domains > 1]. *)
+    let net0 = build0.Build.network in
+    let netp = build.Build.network in
+    let surv =
+      match prune_info with
+      | Some info -> fun i v -> info.Mlo_netgen.Prune.survivors.(i).(v)
+      | None -> fun _ v -> v
+    in
+    let costs0 =
+      (* separable cost table over the original domains, for incumbent
+         steps and the verifier's bound checks *)
+      lazy
+        (let cost_of_layout = layout_cost ~objective prog in
+         Array.init
+           (Mlo_csp.Network.num_vars net0)
+           (fun i ->
+             let name = Mlo_csp.Network.name net0 i in
+             Array.init (Mlo_csp.Network.domain_size net0 i) (fun v ->
+                 cost_of_layout ~array_name:name
+                   ~layout:(Mlo_csp.Network.value net0 i v))))
+    in
+    let comp_data :
+        (int, int array * Mlo_verify.Proof.step list ref * Solver.outcome option ref)
+        Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let on_event_fn ~comp ~vars ev =
+      let _, steps_r, outcome_r =
+        match Hashtbl.find_opt comp_data comp with
+        | Some slot -> slot
+        | None ->
+          let slot = (vars, ref [], ref None) in
+          Hashtbl.add comp_data comp slot;
+          slot
+      in
+      match ev with
+      | Solver.Learned { dead; lits } ->
+        let glits = Array.map (fun (x, v) -> (vars.(x), surv vars.(x) v)) lits in
+        steps_r :=
+          Mlo_verify.Proof.Ng { comp; dead = vars.(dead); lits = glits }
+          :: !steps_r
+      | Solver.Incumbent { assignment } ->
+        let glits = Array.mapi (fun x v -> (vars.(x), surv vars.(x) v)) assignment in
+        let costs0 = Lazy.force costs0 in
+        let cost =
+          Array.fold_left (fun acc (x, v) -> acc +. costs0.(x).(v)) 0.0 glits
+        in
+        steps_r := Mlo_verify.Proof.Inc { comp; lits = glits; cost } :: !steps_r
+      | Solver.Finished o -> outcome_r := Some o
+    in
+    let on_event = Option.map (fun _ -> on_event_fn) proof in
+    let all_vars = lazy (Array.init (Mlo_csp.Network.num_vars netp) Fun.id) in
+    let preprocess_ac =
+      match scheme with
+      | Cdl cfg -> cfg.Mlo_csp.Cdl.preprocess = Solver.Arc_consistency
+      | Bnb cfg -> cfg.Mlo_csp.Bnb.preprocess = Solver.Arc_consistency
+      | Portfolio _ -> false
+      | Heuristic | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ -> (
+        match config_of_scheme ?max_checks scheme with
+        | Some c -> c.Solver.preprocess = Solver.Arc_consistency
+        | None -> false)
+    in
+    let assemble_proof outcome =
+      let open Mlo_verify.Proof in
+      let num0 = Mlo_csp.Network.num_vars net0 in
+      let header =
+        {
+          workload = Program.name prog;
+          scheme = scheme_label scheme;
+          objective =
+            (match scheme with
+            | Bnb _ -> Some (objective_label objective)
+            | _ -> None);
+          pruned = prune_dominated;
+          slack =
+            (match scheme with
+            | Bnb cfg -> cfg.Mlo_csp.Bnb.bound_slack
+            | _ -> 0.0);
+          names = Array.init num0 (Mlo_csp.Network.name net0);
+          domain_sizes = Array.init num0 (Mlo_csp.Network.domain_size net0);
+          digest = digest net0;
+        }
+      in
+      let pre_steps =
+        let dels = ref [] in
+        (match prune_info with
+        | Some info ->
+          List.iter
+            (fun (var, value, by) ->
+              dels := Del { var; value; reason = Dominated by } :: !dels)
+            info.Mlo_netgen.Prune.removed
+        | None -> ());
+        (if preprocess_ac then
+           match Mlo_csp.Propagate.ac2001 netp with
+           | Mlo_csp.Propagate.Reduced doms ->
+             Array.iteri
+               (fun i bs ->
+                 for v = 0 to Mlo_csp.Network.domain_size netp i - 1 do
+                   if not (Mlo_csp.Bitset.mem bs v) then
+                     dels :=
+                       Del { var = i; value = surv i v; reason = Arc_inconsistent }
+                       :: !dels
+                 done)
+               doms
+           | Mlo_csp.Propagate.Wiped _ ->
+             (* the checker's own fixpoint derives the wipe; nothing to
+                justify beyond the network itself *)
+             ());
+        List.rev !dels
+      in
+      let unsat_only =
+        match outcome with Solver.Unsatisfiable -> true | _ -> false
+      in
+      let comp_steps =
+        Hashtbl.fold (fun k _ acc -> k :: acc) comp_data []
+        |> List.sort compare
+        |> List.concat_map (fun k ->
+               let vars, steps_r, outcome_r = Hashtbl.find comp_data k in
+               let keep =
+                 (not unsat_only)
+                 ||
+                 match !outcome_r with
+                 | Some Solver.Unsatisfiable -> true
+                 | _ -> false
+               in
+               if not keep then []
+               else
+                 let steps = List.rev !steps_r in
+                 let steps =
+                   (* an UNSAT certificate must carry no incumbents *)
+                   if unsat_only then
+                     List.filter (function Inc _ -> false | _ -> true) steps
+                   else steps
+                 in
+                 Comp { id = k; vars = Array.copy vars } :: steps)
+      in
+      let verdict =
+        match outcome with
+        | Solver.Unsatisfiable -> Unsat
+        | Solver.Aborted -> Aborted
+        | Solver.Solution a ->
+          let ga = Array.mapi surv a in
+          (match scheme with
+          | Bnb _ ->
+            let costs0 = Lazy.force costs0 in
+            let cost = ref 0.0 in
+            Array.iteri (fun i v -> cost := !cost +. costs0.(i).(v)) ga;
+            Optimal { cost = !cost; assignment = ga }
+          | _ -> Sat ga)
+      in
+      { header; steps = pre_steps @ comp_steps; verdict = Some verdict }
     in
     (* Component-wise search: independent subnetworks are solved
        separately (decision-equivalent to the whole-network solve; a
@@ -135,7 +293,7 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
           | None -> cfg
           | Some m -> { cfg with Mlo_csp.Cdl.max_checks = Some m }
         in
-        ( Mlo_csp.Cdl.solve_components ~config:cfg ~domains
+        ( Mlo_csp.Cdl.solve_components ~config:cfg ~domains ?on_event
             build.Build.network,
           None )
       | Portfolio cfg ->
@@ -144,10 +302,24 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
           | None -> cfg
           | Some m -> { cfg with Mlo_csp.Portfolio.max_checks = Some m }
         in
+        (* the race runs on the whole network, so its certificate is a
+           single component covering every variable *)
+        let on_learn =
+          Option.map
+            (fun f ~dead lits ->
+              f ~comp:0 ~vars:(Lazy.force all_vars)
+                (Solver.Learned { dead; lits }))
+            on_event
+        in
         let r =
-          Mlo_csp.Portfolio.race ~config:cfg ~domains
+          Mlo_csp.Portfolio.race ~config:cfg ~domains ?on_learn
             (Mlo_csp.Network.compile build.Build.network)
         in
+        Option.iter
+          (fun f ->
+            f ~comp:0 ~vars:(Lazy.force all_vars)
+              (Solver.Finished r.Mlo_csp.Portfolio.outcome))
+          on_event;
         ( {
             Solver.outcome = r.Mlo_csp.Portfolio.outcome;
             stats = r.Mlo_csp.Portfolio.stats;
@@ -169,7 +341,8 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
         ( Trace.with_span ~cat:"optimizer" "bnb"
             ~args:[ ("objective", Trace.Str (objective_label objective)) ]
             (fun () ->
-              Mlo_csp.Bnb.branch_and_bound ~config:cfg ~domains ~cost net),
+              Mlo_csp.Bnb.branch_and_bound ~config:cfg ~domains ?on_event
+                ~cost net),
           None )
       | Heuristic | Base _ | Enhanced _ | Enhanced_ac _ | Custom _ ->
         let config =
@@ -177,6 +350,7 @@ let optimize ?candidates ?max_checks ?(prune_dominated = false) ?(domains = 1)
         in
         (Solver.solve_components ~config ~domains build.Build.network, None)
     in
+    Option.iter (fun sink -> sink (assemble_proof result.Solver.outcome)) proof;
     (match result.Solver.outcome with
     | Solver.Unsatisfiable ->
       let detail =

@@ -78,12 +78,26 @@ val objective_cost :
     satisfying assignments, so solutions of different schemes compare
     directly through it. *)
 
+val layout_cost :
+  ?geometry:Mlo_cachesim.Cache.geometry ->
+  objective:objective ->
+  Mlo_ir.Program.t ->
+  array_name:string ->
+  layout:Mlo_layout.Layout.t ->
+  float
+(** The separable per-(array, layout) charge underlying both the [Bnb]
+    scheme and {!objective_cost}: the array's whole-program cost under
+    the layout with every other array at its default.  Exposed so the
+    certificate checker can rebuild the exact cost table an [Optimal]
+    proof was logged against. *)
+
 val optimize :
   ?candidates:(string -> Mlo_layout.Layout.t list) ->
   ?max_checks:int ->
   ?prune_dominated:bool ->
   ?domains:int ->
   ?objective:objective ->
+  ?proof:(Mlo_verify.Proof.t -> unit) ->
   scheme ->
   Mlo_ir.Program.t ->
   solution
@@ -98,7 +112,16 @@ val optimize :
     [domains] instead sizes the racing pool (the portfolio runs on the
     whole network) and [solution.portfolio_winner] names the member whose
     answer was taken.  [objective] (default [Estimated_misses]) selects
-    the cost the [Bnb] scheme minimizes; the other schemes ignore it. *)
+    the cost the [Bnb] scheme minimizes; the other schemes ignore it.
+
+    [proof] receives a {!Mlo_verify.Proof.t} certificate of the solver
+    run, stated against the {e original} (pre-prune, pre-AC) network:
+    preprocessing removals as justified [Del] steps, learned nogoods and
+    branch-and-bound incumbents per component, and a verdict matching
+    the outcome ([Sat], [Unsat], [Optimal] for [Bnb] solutions, or
+    [Aborted]).  The sink is called before {!No_solution} is raised, so
+    UNSAT and budget-abort certificates are still delivered.  Ignored by
+    [Heuristic] (there is nothing to certify). *)
 
 val lookup : solution -> string -> Mlo_layout.Layout.t option
 

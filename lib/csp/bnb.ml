@@ -90,7 +90,8 @@ let merge_into (a : Stats.t) (b : Stats.t) =
   fold a.Stats.nodes_by_depth b.Stats.nodes_by_depth;
   fold a.Stats.nodes_by_var b.Stats.nodes_by_var
 
-let solve_compiled ?(config = default_config) ?cancel ~costs comp =
+let solve_compiled ?(config = default_config) ?cancel ?on_learn ?on_leaf ~costs
+    comp =
   let n = Compiled.num_vars comp in
   if
     Float.is_nan config.bound_slack || config.bound_slack < 0.0
@@ -161,6 +162,7 @@ let solve_compiled ?(config = default_config) ?cancel ~costs comp =
           | Some b -> Array.blit a 0 b 0 n
           | None -> incumbent := Some (Array.copy a));
           stats.Stats.incumbents <- stats.Stats.incumbents + 1;
+          (match on_leaf with None -> () | Some f -> f (Array.copy a));
           if tr then
             Trace.instant ~cat:"solver" "incumbent"
               ~args:[ ("cost", Trace.Float cost) ]
@@ -380,6 +382,11 @@ let solve_compiled ?(config = default_config) ?cancel ~costs comp =
         else begin
           let forgotten0 = Nogood.forgotten store in
           Nogood.learn store ~n:!cnt ~vars:lvars ~vals:lvals ~levels:llvls;
+          (match on_learn with
+          | None -> ()
+          | Some f ->
+              f ~dead:var_at.(level)
+                (Array.init !cnt (fun i -> (lvars.(i), lvals.(i)))));
           stats.Stats.learned <- stats.Stats.learned + 1;
           let dropped = Nogood.forgotten store - forgotten0 in
           if dropped > 0 then begin
@@ -521,14 +528,49 @@ let solve ?config ~cost net =
     ~costs:(costs_of_network ~cost net)
     (Network.compile net)
 
-let solve_components ?(config = default_config) ?domains ~cost net =
-  Solver.component_driver ?domains ~max_checks:config.max_checks
-    ~run:(fun ~max_checks ~cancel sub ->
-      let config = { config with max_checks } in
-      solve_compiled ~config ?cancel
-        ~costs:(costs_of_network ~cost sub)
-        (Network.compile sub))
-    net
+let solve_components ?(config = default_config) ?domains ?on_event ~cost net =
+  (* Same per-component event buffering as {!Cdl.solve_components}:
+     workers fill distinct slots, the replay to [on_event] is serial and
+     in component order, [Finished] closes each component's stream. *)
+  let buffers =
+    match on_event with
+    | None -> [||]
+    | Some _ -> Array.make (max 1 (Array.length (Network.components net))) None
+  in
+  let r =
+    Solver.component_driver ?domains ~max_checks:config.max_checks
+      ~run:(fun ~comp ~vars ~max_checks ~cancel sub ->
+        let config = { config with max_checks } in
+        let costs = costs_of_network ~cost sub in
+        match on_event with
+        | None -> solve_compiled ~config ?cancel ~costs (Network.compile sub)
+        | Some _ ->
+            let evs = ref [] in
+            let on_learn ~dead lits =
+              evs := Solver.Learned { dead; lits } :: !evs
+            in
+            let on_leaf assignment =
+              evs := Solver.Incumbent { assignment } :: !evs
+            in
+            let r =
+              solve_compiled ~config ?cancel ~on_learn ~on_leaf ~costs
+                (Network.compile sub)
+            in
+            evs := Solver.Finished r.Solver.outcome :: !evs;
+            buffers.(comp) <- Some (vars, List.rev !evs);
+            r)
+      net
+  in
+  (match on_event with
+  | None -> ()
+  | Some f ->
+      Array.iteri
+        (fun k slot ->
+          match slot with
+          | None -> ()
+          | Some (vars, evs) -> List.iter (fun ev -> f ~comp:k ~vars ev) evs)
+        buffers);
+  r
 
-let branch_and_bound ?config ?domains ~cost net =
-  solve_components ?config ?domains ~cost net
+let branch_and_bound ?config ?domains ?on_event ~cost net =
+  solve_components ?config ?domains ?on_event ~cost net

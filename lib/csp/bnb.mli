@@ -78,6 +78,8 @@ val lower_bound :
 val solve_compiled :
   ?config:config ->
   ?cancel:(unit -> bool) ->
+  ?on_learn:(dead:int -> (int * int) array -> unit) ->
+  ?on_leaf:(int array -> unit) ->
   costs:float array array ->
   Compiled.t ->
   Solver.result
@@ -90,7 +92,12 @@ val solve_compiled :
     as an {e anytime} [Solution] — consistent, but possibly not optimal;
     [Aborted] means the budget died before any solution was found.
     [stats.bounded] counts cost-pruned subtrees and [stats.incumbents]
-    the strict incumbent improvements. *)
+    the strict incumbent improvements.
+
+    Proof-logging hooks: [on_learn] receives each learned nogood (a
+    fresh literal array plus the wiped variable), [on_leaf] each strict
+    incumbent improvement (a fresh copy of the assignment, including
+    one seeded by [race_seed]), in chronological order. *)
 
 val solve :
   ?config:config -> cost:(string -> int -> float) -> 'a Network.t ->
@@ -101,6 +108,7 @@ val solve :
 val solve_components :
   ?config:config ->
   ?domains:int ->
+  ?on_event:(comp:int -> vars:int array -> Solver.event -> unit) ->
   cost:(string -> int -> float) ->
   'a Network.t ->
   Solver.result
@@ -109,11 +117,16 @@ val solve_components :
     variable {e name}, which {!Network.induced} preserves) and the
     per-component optima concatenate into the global optimum, because a
     separable cost never couples variables that share no constraint.
-    [domains] spreads components over a Domain pool as usual. *)
+    [domains] spreads components over a Domain pool as usual.
+    [on_event] receives each component's {!Solver.event} stream
+    (nogoods and incumbents in chronological order, [Finished] last),
+    buffered per component and replayed serially in component order —
+    safe under [domains > 1]. *)
 
 val branch_and_bound :
   ?config:config ->
   ?domains:int ->
+  ?on_event:(comp:int -> vars:int array -> Solver.event -> unit) ->
   cost:(string -> int -> float) ->
   'a Network.t ->
   Solver.result

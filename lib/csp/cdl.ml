@@ -306,7 +306,8 @@ let solve_compiled ?(config = default_config) ?cancel ?on_learn comp =
         Nogood.learn store ~n:!cnt ~vars:lvars ~vals:lvals ~levels:llvls;
         (match on_learn with
         | None -> ()
-        | Some f -> f (Array.init !cnt (fun i -> (lvars.(i), lvals.(i)))));
+        | Some f ->
+            f ~dead:var (Array.init !cnt (fun i -> (lvars.(i), lvals.(i)))));
         Nogood.decay store;
         stats.Stats.learned <- stats.Stats.learned + 1;
         let dropped = Nogood.forgotten store - forgotten0 in
@@ -439,9 +440,44 @@ let solve_compiled ?(config = default_config) ?cancel ?on_learn comp =
 
 let solve ?config net = solve_compiled ?config (Network.compile net)
 
-let solve_components ?(config = default_config) ?domains net =
-  Solver.component_driver ?domains ~max_checks:config.max_checks
-    ~run:(fun ~max_checks ~cancel sub ->
-      let config = { config with max_checks } in
-      solve_compiled ~config ?cancel (Network.compile sub))
-    net
+let solve_components ?(config = default_config) ?domains ?on_event net =
+  (* Proof logging across components: each worker buffers its own
+     component's events in a dedicated slot (distinct array cells, so
+     parallel workers never share), and the buffers are replayed to
+     [on_event] serially, in component order, after the driver returns.
+     Components the driver never ran (cancelled siblings) have no
+     buffer and deliver nothing. *)
+  let buffers =
+    match on_event with
+    | None -> [||]
+    | Some _ -> Array.make (max 1 (Array.length (Network.components net))) None
+  in
+  let r =
+    Solver.component_driver ?domains ~max_checks:config.max_checks
+      ~run:(fun ~comp ~vars ~max_checks ~cancel sub ->
+        let config = { config with max_checks } in
+        match on_event with
+        | None -> solve_compiled ~config ?cancel (Network.compile sub)
+        | Some _ ->
+            let evs = ref [] in
+            let on_learn ~dead lits =
+              evs := Solver.Learned { dead; lits } :: !evs
+            in
+            let r =
+              solve_compiled ~config ?cancel ~on_learn (Network.compile sub)
+            in
+            evs := Solver.Finished r.Solver.outcome :: !evs;
+            buffers.(comp) <- Some (vars, List.rev !evs);
+            r)
+      net
+  in
+  (match on_event with
+  | None -> ()
+  | Some f ->
+      Array.iteri
+        (fun k slot ->
+          match slot with
+          | None -> ()
+          | Some (vars, evs) -> List.iter (fun ev -> f ~comp:k ~vars ev) evs)
+        buffers);
+  r

@@ -46,14 +46,16 @@ val default_config : config
 val solve_compiled :
   ?config:config ->
   ?cancel:(unit -> bool) ->
-  ?on_learn:((int * int) array -> unit) ->
+  ?on_learn:(dead:int -> (int * int) array -> unit) ->
   Compiled.t ->
   Solver.result
 (** Run the conflict-driven search on a compiled view.  [cancel] is the
     same cooperative hook as {!Solver.solve_compiled} (polled on the
     check counter).  [on_learn] receives every learned nogood as its
-    [(variable, value)] literal array (a fresh copy) — the soundness
-    property tests pin each one against the brute-forced solution set.
+    [(variable, value)] literal array (a fresh copy) together with the
+    variable whose domain wiped at the dead end — the soundness
+    property tests pin each one against the brute-forced solution set,
+    and proof logging records both.
     [stats.learned]/[forgotten]/[restarts] report the learning
     activity. *)
 
@@ -61,6 +63,15 @@ val solve : ?config:config -> 'a Network.t -> Solver.result
 (** {!solve_compiled} on [Network.compile net]. *)
 
 val solve_components :
-  ?config:config -> ?domains:int -> 'a Network.t -> Solver.result
+  ?config:config ->
+  ?domains:int ->
+  ?on_event:(comp:int -> vars:int array -> Solver.event -> unit) ->
+  'a Network.t ->
+  Solver.result
 (** Component-wise conflict-driven search via {!Solver.component_driver}
-    (independent learned stores per component). *)
+    (independent learned stores per component).  [on_event] receives
+    each component's {!Solver.event} stream — buffered during the solve
+    and replayed serially in component order after the driver returns,
+    so it is safe under [domains > 1]; [Finished] is always a
+    component's last event, and components that never ran (cancelled
+    siblings) deliver nothing. *)

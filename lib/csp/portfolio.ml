@@ -37,7 +37,7 @@ let stats_of_steps steps =
   s.Stats.nodes <- steps;
   s
 
-let race ?(config = default_config) ?domains ?cancel comp =
+let race ?(config = default_config) ?domains ?cancel ?on_learn comp =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -58,6 +58,7 @@ let race ?(config = default_config) ?domains ?cancel comp =
   let member_cancel () = Atomic.get decided || aborted_race () in
   let outcomes : Solver.outcome option array = Array.make nmembers None in
   let member_stats = Array.make nmembers None in
+  let cdl_learned = ref [] in
   let claim k outcome =
     outcomes.(k) <- Some outcome;
     let decisive =
@@ -73,7 +74,15 @@ let race ?(config = default_config) ?domains ?cancel comp =
       match member_names.(k) with
       | "cdl" ->
         let cfg = { config.cdl with Cdl.max_checks = config.max_checks } in
-        let r = Cdl.solve_compiled ~config:cfg ~cancel:member_cancel comp in
+        (* Only the cdl worker's Domain touches this buffer; it is
+           replayed to the caller after the race, and only when cdl
+           actually won, so a cancelled loser leaks no partial log. *)
+        let learned = ref [] in
+        let on_learn ~dead lits = learned := (dead, lits) :: !learned in
+        let r =
+          Cdl.solve_compiled ~config:cfg ~cancel:member_cancel ~on_learn comp
+        in
+        cdl_learned := List.rev !learned;
         member_stats.(k) <- Some r.Solver.stats;
         claim k r.Solver.outcome
       | "enhanced" ->
@@ -123,6 +132,10 @@ let race ?(config = default_config) ?domains ?cancel comp =
   | Solver.Solution a -> assert (Compiled.verify comp a)
   | Solver.Unsatisfiable | Solver.Aborted -> ());
   let winner_name = if w < 0 then None else Some member_names.(w) in
+  (match (on_learn, winner_name) with
+  | Some f, Some "cdl" ->
+      List.iter (fun (dead, lits) -> f ~dead lits) !cdl_learned
+  | _ -> ());
   Trace.instant ~cat:"solver" "portfolio-winner"
     ~args:
       [

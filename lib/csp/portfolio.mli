@@ -49,13 +49,21 @@ type report = {
 }
 
 val race :
-  ?config:config -> ?domains:int -> ?cancel:(unit -> bool) -> Compiled.t ->
+  ?config:config ->
+  ?domains:int ->
+  ?cancel:(unit -> bool) ->
+  ?on_learn:(dead:int -> (int * int) array -> unit) ->
+  Compiled.t ->
   report
 (** Race the members over [domains] Domains (default
     {!Mlo_support.Pool.default_domains}; the caller participates).
     [cancel] aborts the whole race (all members poll it in addition to
     the race's own decided flag).  Solutions are verified against the
-    compiled network before being returned. *)
+    compiled network before being returned.  [on_learn] receives the
+    conflict-driven member's learned nogoods — buffered during the race
+    and replayed serially after it, and only when cdl actually won, so
+    proofs never mix a cancelled loser's partial log into the winner's
+    certificate. *)
 
 val solve : ?config:config -> ?domains:int -> 'a Network.t -> Solver.result
 (** {!race} on [Network.compile net], flattened to a {!Solver.result}

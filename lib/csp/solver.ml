@@ -37,6 +37,11 @@ let default_config =
 
 type outcome = Solution of int array | Unsatisfiable | Aborted
 
+type event =
+  | Learned of { dead : int; lits : (int * int) array }
+  | Incumbent of { assignment : int array }
+  | Finished of outcome
+
 type result = { outcome : outcome; stats : Stats.t }
 
 exception Abort
@@ -617,7 +622,10 @@ let merge_component_stats stats ~n ~vars (s : Stats.t) =
 let component_driver ?(domains = 1) ~max_checks ~run net =
   let comp = Network.compile net in
   let comps = Compiled.components comp in
-  if Array.length comps <= 1 then run ~max_checks ~cancel:None net
+  if Array.length comps <= 1 then
+    run ~comp:0
+      ~vars:(Array.init (Network.num_vars net) Fun.id)
+      ~max_checks ~cancel:None net
   else begin
     let ncomps = Array.length comps in
     let domains = max 1 (min domains ncomps) in
@@ -640,7 +648,9 @@ let component_driver ?(domains = 1) ~max_checks ~run net =
       for k = 0 to ncomps - 1 do
         if not !stop then begin
           let sub = Network.induced net comps.(k) in
-          let r = run ~max_checks:!remaining ~cancel:None sub in
+          let r =
+            run ~comp:k ~vars:comps.(k) ~max_checks:!remaining ~cancel:None sub
+          in
           results.(k) <- Some r;
           (match !remaining with
           | Some m -> remaining := Some (max 0 (m - r.stats.Stats.checks))
@@ -661,7 +671,10 @@ let component_driver ?(domains = 1) ~max_checks ~run net =
               Option.map (fun m -> max 0 (m - Atomic.get spent)) max_checks
             in
             let sub = Network.induced net comps.(k) in
-            let r = run ~max_checks:budget ~cancel:(Some cancel) sub in
+            let r =
+              run ~comp:k ~vars:comps.(k) ~max_checks:budget
+                ~cancel:(Some cancel) sub
+            in
             results.(k) <- Some r;
             if max_checks <> None then
               ignore (Atomic.fetch_and_add spent r.stats.Stats.checks);
@@ -701,7 +714,7 @@ let component_driver ?(domains = 1) ~max_checks ~run net =
 
 let solve_components ?(config = default_config) ?domains net =
   component_driver ?domains ~max_checks:config.max_checks
-    ~run:(fun ~max_checks ~cancel sub ->
+    ~run:(fun ~comp:_ ~vars:_ ~max_checks ~cancel sub ->
       let config = { config with max_checks } in
       solve_compiled ~config ?cancel (Network.compile sub))
     net

@@ -131,7 +131,9 @@ val component_driver :
   ?domains:int ->
   max_checks:int option ->
   run:
-    (max_checks:int option ->
+    (comp:int ->
+    vars:int array ->
+    max_checks:int option ->
     cancel:(unit -> bool) option ->
     'a Network.t ->
     result) ->
@@ -141,9 +143,29 @@ val component_driver :
     per-component engine: decomposes the network, shares the [max_checks]
     budget across components (atomically under [domains > 1], with
     sibling cancellation through [cancel]), and merges results in
-    component order with the serial stopping rule.  A single-component
-    network is passed to [run] whole.  {!Cdl.solve_components} and the
+    component order with the serial stopping rule.  [comp] is the
+    component's index and [vars] maps its local variable indices back to
+    the whole network (proof emission relies on both).  A
+    single-component network is passed to [run] whole, as component 0
+    with the identity mapping.  {!Cdl.solve_components} and the
     portfolio build on this. *)
+
+type event =
+  | Learned of { dead : int; lits : (int * int) array }
+      (** A nogood was learned at a dead end: the (component-local)
+          assignments [lits] cannot jointly extend to a solution (for
+          {!Bnb}, to one improving the incumbent); [dead] is the
+          variable whose domain wiped. *)
+  | Incumbent of { assignment : int array }
+      (** Branch and bound found an improving incumbent (a fresh copy,
+          component-local indices). *)
+  | Finished of outcome
+      (** The component's search ended; always the component's last
+          event. *)
+(** Solver events for proof logging, reported per component by
+    {!Cdl.solve_components} and {!Bnb.solve_components} via their
+    [on_event] callbacks.  Variable indices are local to the component;
+    the [vars] array of the enclosing component maps them back. *)
 
 val solve_values : ?config:config -> 'a Network.t -> ('a array * result) option
 (** Convenience: like {!solve} but materializes the domain values of the

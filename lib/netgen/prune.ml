@@ -7,6 +7,8 @@ type info = {
   before : int;
   after : int;
   per_array : (string * int) list;
+  removed : (int * int * int) list;
+  survivors : int array array;
 }
 
 let total i = i.before - i.after
@@ -28,6 +30,7 @@ let apply ?geometry (b : Build.t) =
   let profile = Locality.profiler ?geometry b.Build.program in
   let keep = Array.init n (fun i -> Array.make (Network.domain_size net i) true) in
   let per_array = ref [] in
+  let removals = ref [] in
   for i = 0 to n - 1 do
     let name = Network.name net i in
     let dom = Network.domain net i in
@@ -65,6 +68,21 @@ let apply ?geometry (b : Build.t) =
         incr v1
       done
     done;
+    (* Record every removed value with a *kept* dominating witness for
+       the certificate log.  The removal loop accepts any dominator;
+       a kept one always exists because dominance is a strict partial
+       order (follow dominators upward — the chain ends at a maximal,
+       hence kept, value that dominates transitively). *)
+    for v2 = 0 to d - 1 do
+      if not keep.(i).(v2) then begin
+        let w = ref (-1) in
+        for v1 = d - 1 downto 0 do
+          if keep.(i).(v1) && dominates v1 v2 then w := v1
+        done;
+        assert (!w >= 0);
+        removals := (i, v2, !w) :: !removals
+      end
+    done;
     if !removed > 0 then per_array := (name, !removed) :: !per_array
   done;
   let before = Network.total_domain_size net in
@@ -72,10 +90,20 @@ let apply ?geometry (b : Build.t) =
   let after = Network.total_domain_size pruned in
   Trace.counter ~cat:"netgen" "dominance-pruned"
     [ ("values", float_of_int (before - after)) ];
+  let survivors =
+    Array.init n (fun i ->
+        let kept = ref [] in
+        for v = Array.length keep.(i) - 1 downto 0 do
+          if keep.(i).(v) then kept := v :: !kept
+        done;
+        Array.of_list !kept)
+  in
   ( { b with Build.network = pruned },
     {
       before;
       after;
       per_array =
         List.sort (fun (a, _) (b, _) -> String.compare a b) !per_array;
+      removed = List.rev !removals;
+      survivors;
     } )

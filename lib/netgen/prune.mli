@@ -24,6 +24,16 @@ type info = {
   per_array : (string * int) list;
       (** arrays that lost values, with the count removed; ascending by
           name *)
+  removed : (int * int * int) list;
+      (** every removal as [(var, value, witness)] in original value
+          indices, where [witness] is a {e kept} value of the same
+          variable that dominates [value] — the justification recorded
+          in solver certificates *)
+  survivors : int array array;
+      (** [survivors.(i).(k)] is the original value index of the pruned
+          network's value [k] of variable [i] — the map certificates use
+          to translate post-prune solver output back to original
+          indices *)
 }
 
 val total : info -> int

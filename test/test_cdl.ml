@@ -105,7 +105,7 @@ let prop_nogoods_sound =
         Cdl.solve_compiled
           ~config:
             { Cdl.default_config with Cdl.restarts = 10; restart_base = 2 }
-          ~on_learn:(fun lits -> learned := lits :: !learned)
+          ~on_learn:(fun ~dead:_ lits -> learned := lits :: !learned)
           comp
       in
       (match r.Solver.outcome with
@@ -126,6 +126,55 @@ let prop_nogoods_sound =
             solutions)
         !learned)
 
+(* Unit-ban soundness across forgetting: single-literal nogoods become
+   permanent per-variable bans that survive every reduce and restart, so
+   a wrong one silently poisons the whole remaining search.  Run the
+   engine with aggressive forgetting (store limit 2) and restarting,
+   collect every unit nogood it commits to, and demand that the
+   brute-forced solution set of the original network never contradicts a
+   ban — and that the bans are indeed still held by a store squeezed
+   down to its minimum. *)
+let prop_unit_bans_sound =
+  QCheck.Test.make
+    ~name:"unit bans retained across forgetting exclude no solution"
+    ~count:300 QCheck.small_nat (fun seed ->
+      let net = random_network seed in
+      let comp = Network.compile net in
+      let units = ref [] in
+      let config =
+        { Cdl.default_config with
+          Cdl.restarts = 10;
+          restart_base = 1;
+          learn_limit = 2 }
+      in
+      let r =
+        Cdl.solve_compiled ~config
+          ~on_learn:(fun ~dead:_ lits ->
+            if Array.length lits = 1 then units := lits.(0) :: !units)
+          comp
+      in
+      (match r.Solver.outcome with
+      | Solver.Aborted -> QCheck.Test.fail_report "aborted without budget"
+      | _ -> ());
+      let solutions = Brute.all_solutions net in
+      List.iter
+        (fun (v, w) ->
+          List.iter
+            (fun sol ->
+              if sol.(v) = w then
+                QCheck.Test.fail_reportf
+                  "unit ban v%d<>%d excludes a satisfying assignment" v w)
+            solutions)
+        !units;
+      (* store-level retention: replay the same bans through a store that
+         is then forgotten down to nothing — [banned] must still hold. *)
+      let store = Nogood.create ~limit:2 comp in
+      List.iter
+        (fun (v, w) -> Nogood.ban store ~var:v ~value:w)
+        !units;
+      Nogood.reduce store ~limit:2;
+      List.for_all (fun (v, w) -> Nogood.banned store v w) !units)
+
 (* Restart and forgetting bookkeeping: restarts never exceed the
    configured cap, learned counts what on_learn saw, and the learned /
    forgotten counters are consistent. *)
@@ -140,7 +189,7 @@ let prop_restart_stats =
       let seen = ref 0 in
       let r =
         Cdl.solve_compiled ~config
-          ~on_learn:(fun _ -> incr seen)
+          ~on_learn:(fun ~dead:_ _ -> incr seen)
           (Network.compile net)
       in
       let s = r.Solver.stats in
@@ -218,6 +267,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_cdl_agrees;
           QCheck_alcotest.to_alcotest prop_nogoods_sound;
+          QCheck_alcotest.to_alcotest prop_unit_bans_sound;
         ] );
       ( "store",
         [
