@@ -23,6 +23,7 @@ module Simulate = Mlo_cachesim.Simulate
 module Tables = Mlo_experiments.Tables
 module Prune = Mlo_netgen.Prune
 module Locality = Mlo_analysis.Locality
+module Depreport = Mlo_analysis.Depreport
 open Bechamel
 open Toolkit
 
@@ -269,6 +270,20 @@ let locality_tests =
              matmul32_sweep));
   ]
 
+(* The exact dependence axis: the full Omega-test analysis (per-pair
+   direction-vector enumeration plus the legal-permutation filter) over
+   a paper benchmark and a conflict-heavy one.  This is the static
+   analysis every deps/lint/optimize run pays up front; the kernels pin
+   its cost next to the solver stages it feeds. *)
+let deps_tests =
+  List.map
+    (fun spec ->
+      Test.make
+        ~name:(Printf.sprintf "deps/analyze:%s" spec.Spec.name)
+        (Staged.stage (fun () ->
+             ignore (Depreport.run spec.Spec.program))))
+    [ Lazy.force mxm; Lazy.force med ]
+
 (* The optimizing axis: branch and bound over the static cost model on
    the paper networks, next to the first-solution learner on the same
    pre-built network — the pair prices the optimality proof.  The
@@ -446,7 +461,7 @@ let stats_of samples =
 let benchmark ?(filter = "") ~quota () =
   let tests =
     table1_tests @ table2_tests @ fig4_tests @ table3_tests @ prune_tests
-    @ locality_tests @ bnb_tests @ Lazy.force scale_tests
+    @ locality_tests @ deps_tests @ bnb_tests @ Lazy.force scale_tests
     @ Lazy.force hard_tests @ Lazy.force proof_tests
   in
   let tests =

@@ -139,34 +139,58 @@ let injectivity_pass prog =
     (Program.nests prog);
   !diags
 
-(* -- pinning: nests Dependence.Unknown fixes to source order ---------- *)
+(* -- pinning: nests whose dependences reject every alternative order -- *)
 
 let pinning_pass prog =
   let diags = ref [] in
   Array.iter
     (fun nest ->
       if Loop_nest.depth nest >= 2 then
-        let accs = Loop_nest.accesses nest in
-        match
-          List.find_opt
-            (fun (_, _, ds) -> List.mem Dependence.Unknown ds)
-            (List.rev (Dependence.pair_distances nest))
-        with
-        | None -> ()
-        | Some (i, j, _) ->
-          let kind a = if Access.is_write a then "write" else "read" in
-          diags :=
-            Diagnostic.make Diagnostic.Info ~code:"pinned-order"
-              ~subject:(Loop_nest.name nest)
-              (Printf.sprintf
-                 "nest %s is pinned to its source loop order: the dependence \
-                  between %s (%s) and %s (%s) has unknown direction"
-                 (Loop_nest.name nest)
-                 (access_str nest accs.(i))
-                 (kind accs.(i))
-                 (access_str nest accs.(j))
-                 (kind accs.(j)))
-            :: !diags)
+        let ds = Dependence.deps nest in
+        if ds <> [] then begin
+          let alternatives =
+            match Loop_nest.permutations nest with
+            | _identity :: rest -> List.map fst rest
+            | [] -> []
+          in
+          let admits perm =
+            List.for_all (fun (_, _, d) -> Dependence.dep_legal perm d) ds
+          in
+          if alternatives <> [] && not (List.exists admits alternatives) then begin
+            (* Pinned: exactly the source order is legal.  Name the
+               dependence that blocks some alternative. *)
+            let blocking =
+              List.find_opt
+                (fun (_, _, d) ->
+                  List.exists
+                    (fun p -> not (Dependence.dep_legal p d))
+                    alternatives)
+                ds
+            in
+            match blocking with
+            | None -> ()
+            | Some (i, j, d) ->
+              let accs = Loop_nest.accesses nest in
+              let kind a = if Access.is_write a then "write" else "read" in
+              diags :=
+                Diagnostic.make Diagnostic.Info ~code:"pinned-order"
+                  ~subject:(Loop_nest.name nest)
+                  (Format.asprintf
+                     "nest %s is pinned to its source loop order: the \
+                      dependence between %s (%s) and %s (%s) with %s %a \
+                      blocks every alternative"
+                     (Loop_nest.name nest)
+                     (access_str nest accs.(i))
+                     (kind accs.(i))
+                     (access_str nest accs.(j))
+                     (kind accs.(j))
+                     (match d with
+                     | Dependence.Distance _ -> "distance"
+                     | Dependence.Direction _ -> "direction")
+                     Dependence.pp_dep d)
+                :: !diags
+          end
+        end)
     (Program.nests prog);
   !diags
 

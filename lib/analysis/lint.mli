@@ -18,10 +18,12 @@
     - {b injectivity} — an access matrix with a non-trivial nullspace
       maps distinct iterations to the same element ([Info]: this is
       temporal reuse, and such references demand no layout).
-    - {b pinning} — a nest one of whose dependence distances is
-      {!Mlo_ir.Dependence.Unknown} is pinned to its source loop order;
-      the diagnosis names the exact reference pair responsible
-      ([Info]). *)
+    - {b pinning} — a nest whose exact dependences
+      ({!Mlo_ir.Dependence.deps}) reject {e every} alternative loop
+      order is pinned to its source order; the diagnosis names the
+      responsible reference pair and the blocking distance or direction
+      vector ([Info]).  Pairs the Presburger engine proves independent
+      no longer pin anything. *)
 
 type t = {
   program : string;

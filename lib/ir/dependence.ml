@@ -1,162 +1,182 @@
 module Intvec = Mlo_linalg.Intvec
 module Intmat = Mlo_linalg.Intmat
-module Rat = Mlo_linalg.Rat
-module Nullspace = Mlo_linalg.Nullspace
+module P = Presburger
 
-type distance = Exact of Intvec.t | Unknown
+type direction = Lt | Eq | Gt
+type dep = Distance of Intvec.t | Direction of direction array
+
+let direction_char = function Lt -> '<' | Eq -> '=' | Gt -> '>'
+
+let pp_dep ppf d =
+  let inner =
+    match d with
+    | Distance v -> Array.to_list (Array.map string_of_int v)
+    | Direction v ->
+        Array.to_list (Array.map (fun x -> String.make 1 (direction_char x)) v)
+  in
+  Format.fprintf ppf "(%s)" (String.concat ", " inner)
 
 let lex_sign v =
   match Intvec.first_nonzero v with
   | None -> 0
   | Some i -> if v.(i) > 0 then 1 else -1
 
-(* Solve F d = b over the rationals by Gauss-Jordan on [F | b].
-   Returns [None] if inconsistent, [Some (d0, nullity)] with [d0] the
-   particular solution taking all free variables to 0 (when integral),
-   and the nullspace dimension. *)
-let solve_particular f b =
-  let r = Intmat.rows f and c = Intmat.cols f in
-  let m =
-    Array.init r (fun i ->
-        Array.init (c + 1) (fun j ->
-            Rat.of_int (if j < c then f.(i).(j) else b.(i))))
-  in
-  let pivots = ref [] in
-  let pr = ref 0 in
-  for j = 0 to c - 1 do
-    if !pr < r then begin
-      let rec find i =
-        if i >= r then None
-        else if not (Rat.is_zero m.(i).(j)) then Some i
-        else find (i + 1)
-      in
-      match find !pr with
-      | None -> ()
-      | Some i ->
-        let tmp = m.(!pr) in
-        m.(!pr) <- m.(i);
-        m.(i) <- tmp;
-        let p = m.(!pr).(j) in
-        for j' = 0 to c do
-          m.(!pr).(j') <- Rat.div m.(!pr).(j') p
-        done;
-        for i' = 0 to r - 1 do
-          if i' <> !pr && not (Rat.is_zero m.(i').(j)) then begin
-            let fct = m.(i').(j) in
-            for j' = 0 to c do
-              m.(i').(j') <- Rat.sub m.(i').(j') (Rat.mul fct m.(!pr).(j'))
-            done
-          end
-        done;
-        pivots := (!pr, j) :: !pivots;
-        incr pr
-    end
-  done;
-  let pivots = List.rev !pivots in
-  (* inconsistent iff some zero row has nonzero rhs *)
-  let inconsistent =
-    let rec check i =
-      if i >= r then false
-      else
-        let zero_lhs =
-          let rec z j = j >= c || (Rat.is_zero m.(i).(j) && z (j + 1)) in
-          z 0
-        in
-        if zero_lhs && not (Rat.is_zero m.(i).(c)) then true else check (i + 1)
-    in
-    check 0
-  in
-  if inconsistent then None
-  else begin
-    let d0 = Array.make c Rat.zero in
-    List.iter (fun (i, j) -> d0.(j) <- m.(i).(c)) pivots;
-    let integral = Array.for_all (fun x -> Rat.den x = 1) d0 in
-    let nullity = c - List.length pivots in
-    if integral then Some (Array.map Rat.num d0, nullity) else Some ([||], nullity)
-    (* [||] signals a rational-only particular solution: for dependence
-       purposes, a non-integral unique solution means no integer
-       dependence when nullity = 0; with free variables integral points
-       may still exist, so callers must treat it conservatively. *)
-  end
+(* ------------------------------------------------------------------ *)
+(* The conflict system for a reference pair: variables x_0..x_{d-1} are
+   the source iteration I, x_d..x_{2d-1} the sink iteration I'; both
+   range over the nest's bounds and the accessed elements coincide:
+   F1.I + o1 = F2.I' + o2, one equality per array dimension. *)
 
-(* Per-dimension GCD test for a non-uniform pair: f1(I) = f2(I') has an
-   integer solution in (I, I') only if gcd of all coefficients divides the
-   constant difference, for every array dimension. *)
-let gcd_test a1 a2 =
+let conflict_system nest a1 a2 =
+  let loops = Loop_nest.loops nest in
+  let d = Array.length loops in
+  let nvars = 2 * d in
+  let cstrs = ref [] in
+  Array.iteri
+    (fun j l ->
+      let lo = l.Loop_nest.lo and hi = l.Loop_nest.hi - 1 in
+      cstrs :=
+        P.between ~nvars j ~lo ~hi
+        @ P.between ~nvars (d + j) ~lo ~hi
+        @ !cstrs)
+    loops;
   let m1 = Access.matrix a1 and m2 = Access.matrix a2 in
   let o1 = Access.offset a1 and o2 = Access.offset a2 in
-  let dims = Intmat.rows m1 in
-  let solvable = ref true in
-  for r = 0 to dims - 1 do
-    let g = ref 0 in
-    Array.iter (fun x -> g := Intvec.gcd !g x) m1.(r);
-    Array.iter (fun x -> g := Intvec.gcd !g x) m2.(r);
-    let diff = o2.(r) - o1.(r) in
-    if !g = 0 then begin
-      if diff <> 0 then solvable := false
-    end
-    else if diff mod !g <> 0 then solvable := false
+  for r = 0 to Intmat.rows m1 - 1 do
+    let c = Array.make nvars 0 in
+    for j = 0 to d - 1 do
+      c.(j) <- m1.(r).(j);
+      c.(d + j) <- -m2.(r).(j)
+    done;
+    cstrs := P.eq c (o1.(r) - o2.(r)) :: !cstrs
   done;
-  !solvable
+  P.make ~nvars !cstrs
 
-let pair_distance a1 a2 =
-  let m1 = Access.matrix a1 and m2 = Access.matrix a2 in
-  if Intmat.equal m1 m2 then begin
-    (* uniform: F d = o1 - o2 *)
-    let b = Intvec.sub (Access.offset a1) (Access.offset a2) in
-    match solve_particular m1 b with
-    | None -> []
-    | Some (d0, 0) ->
-      if Array.length d0 = 0 then [] (* unique but non-integral: no dep *)
-      else if Intvec.is_zero d0 then [] (* loop-independent *)
-      else [ Exact (if lex_sign d0 < 0 then Intvec.neg d0 else d0) ]
-    | Some (d0, 1) when Array.length d0 > 0 && Intvec.is_zero d0 ->
-      (* homogeneous with a one-dimensional solution line: distances are
-         the multiples of the basis vector *)
-      (match Nullspace.basis m1 with
-      | [ n ] -> [ Exact n ]
-      | _ -> [ Unknown ])
-    | Some _ -> [ Unknown ]
+(* delta_j = x_{d+j} - x_j, the level-j dependence distance. *)
+let delta_coeffs nvars d j =
+  let c = Array.make nvars 0 in
+  c.(d + j) <- 1;
+  c.(j) <- -1;
+  c
+
+let dir_cstr nvars d j = function
+  | Lt -> P.geq (delta_coeffs nvars d j) (-1) (* delta_j >= 1 *)
+  | Eq -> P.eq (delta_coeffs nvars d j) 0
+  | Gt ->
+      let c = delta_coeffs nvars d j in
+      P.geq (Array.map (fun x -> -x) c) (-1) (* delta_j <= -1 *)
+
+let flip_dir = function Lt -> Gt | Gt -> Lt | Eq -> Eq
+
+(* Enumerate the Banerjee direction hierarchy: refine each level's [*]
+   into Lt/Eq/Gt, pruning infeasible prefixes.  A feasible leaf whose
+   first non-Eq level is Gt is the mirror of a forward dependence (sink
+   precedes source in program order); it is flipped so every reported
+   dep is lexicographically forward.  Leaves whose per-level distance
+   range is a single point collapse to an exact [Distance]. *)
+let pair_deps_for nest a1 a2 =
+  let loops = Loop_nest.loops nest in
+  let d = Array.length loops in
+  let nvars = 2 * d in
+  let base = conflict_system nest a1 a2 in
+  if not (P.feasible base) then []
+  else begin
+    let found = ref [] in
+    let emit dep = if not (List.mem dep !found) then found := dep :: !found in
+    let leaf sys dirs =
+      if not (List.for_all (fun x -> x = Eq) dirs) then begin
+        let flipped =
+          match List.find_opt (fun x -> x <> Eq) dirs with
+          | Some Gt -> true
+          | _ -> false
+        in
+        let ranges =
+          List.mapi
+            (fun j dir ->
+              match dir with
+              | Eq -> (0, 0)
+              | _ -> (
+                  let span = loops.(j).Loop_nest.hi - 1 - loops.(j).Loop_nest.lo in
+                  match
+                    P.range sys ~coeffs:(delta_coeffs nvars d j) ~lo:(-span)
+                      ~hi:span
+                  with
+                  | Some r -> r
+                  | None -> assert false (* the leaf is feasible *)))
+            dirs
+        in
+        if List.for_all (fun (a, b) -> a = b) ranges then
+          let v = Array.of_list (List.map fst ranges) in
+          emit (Distance (if flipped then Array.map (fun x -> -x) v else v))
+        else
+          let dirs = Array.of_list dirs in
+          emit (Direction (if flipped then Array.map flip_dir dirs else dirs))
+      end
+    in
+    let rec go level sys dirs =
+      if level = d then leaf sys (List.rev dirs)
+      else
+        List.iter
+          (fun dir ->
+            let sys' = P.add sys [ dir_cstr nvars d level dir ] in
+            if P.feasible sys' then go (level + 1) sys' (dir :: dirs))
+          [ Lt; Eq; Gt ]
+    in
+    go 0 base [];
+    List.rev !found
   end
-  else if gcd_test a1 a2 then [ Unknown ]
-  else []
 
-let pair_distances nest =
+let pair_deps nest =
   let accs = Loop_nest.accesses nest in
-  let out = ref [] in
   let n = Array.length accs in
-  for i = 0 to n - 1 do
-    for j = i to n - 1 do
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i do
       let a1 = accs.(i) and a2 = accs.(j) in
       if
         String.equal (Access.array_name a1) (Access.array_name a2)
         && (Access.is_write a1 || Access.is_write a2)
         && not (i = j && not (Access.is_write a1))
-      then out := (i, j, pair_distance a1 a2) :: !out
+      then out := (i, j, pair_deps_for nest a1 a2) :: !out
     done
   done;
   !out
 
-let distances nest =
-  List.concat_map (fun (_, _, ds) -> ds) (pair_distances nest)
+let deps nest =
+  List.concat_map (fun (i, j, ds) -> List.map (fun d -> (i, j, d)) ds)
+    (pair_deps nest)
+
+(* ------------------------------------------------------------------ *)
+(* Permutation legality. *)
 
 let is_identity perm =
   let ok = ref true in
   Array.iteri (fun i x -> if i <> x then ok := false) perm;
   !ok
 
+let dep_legal perm = function
+  | Distance dv ->
+      lex_sign (Array.init (Array.length perm) (fun p -> dv.(perm.(p)))) >= 0
+  | Direction dirs ->
+      let n = Array.length perm in
+      let rec scan p =
+        p >= n
+        ||
+        match dirs.(perm.(p)) with
+        | Lt -> true
+        | Gt -> false
+        | Eq -> scan (p + 1)
+      in
+      scan 0
+
 let legal_permutation nest perm =
-  if is_identity perm then true
-  else
-    let apply d = Array.init (Array.length perm) (fun p -> d.(perm.(p))) in
-    List.for_all
-      (fun dist ->
-        match dist with
-        | Unknown -> false
-        | Exact d -> lex_sign (apply d) >= 0)
-      (distances nest)
+  is_identity perm
+  || List.for_all (fun (_, _, dep) -> dep_legal perm dep) (deps nest)
 
 let legal_permutations nest =
+  let ds = deps nest in
   List.filter
-    (fun (perm, _) -> legal_permutation nest perm)
+    (fun (perm, _) ->
+      is_identity perm
+      || List.for_all (fun (_, _, dep) -> dep_legal perm dep) ds)
     (Loop_nest.permutations nest)

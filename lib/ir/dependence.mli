@@ -1,45 +1,70 @@
-(** Data-dependence analysis for loop-permutation legality.
+(** Exact data-dependence analysis for loop-permutation legality.
 
     Data transformations need no legality check (the paper's motivation),
     but the network generator also enumerates {e loop restructurings} of
-    each nest, and those must preserve dependences.  A loop permutation is
-    legal iff every dependence distance vector stays lexicographically
-    non-negative after its components are permuted.
+    each nest, and those must preserve dependences.  A loop permutation
+    is legal iff every dependence stays lexicographically forward after
+    its components are permuted.
 
-    The analysis is exact for uniformly generated references (equal access
-    matrices): distances solve [F d = o2 - o1].  Non-uniform pairs are
-    first subjected to a per-dimension GCD independence test; if that
-    cannot rule the dependence out, the pair is treated conservatively as
-    a dependence of unknown direction, which pins the nest to its original
-    loop order. *)
+    Each conflicting reference pair (same array, at least one write) is
+    decided {e exactly} on the bounded iteration space with the
+    {!Presburger} engine: the system [{F1.I + o1 = F2.I' + o2,
+    bounds(I), bounds(I')}] either has no integer solution (proven
+    independence — in particular, distances that exceed trip counts no
+    longer count as dependences), or its solutions are summarized by
+    enumerating the Banerjee direction-vector hierarchy — each level's
+    [*] is refined into [<]/[=]/[>] with infeasible subtrees pruned.  A
+    leaf whose per-level distance is unique collapses to an exact
+    {!Distance}; otherwise it is reported as a {!Direction} vector.
+    There is no [Unknown]: every verdict is a proof. *)
 
-type distance =
-  | Exact of Mlo_linalg.Intvec.t
-      (** A concrete distance vector (lexicographically non-negative). *)
-  | Unknown
-      (** Conservative: direction unknown, only the identity order is
-          safe. *)
+type direction =
+  | Lt  (** source iteration earlier on this level ([delta >= 1]) *)
+  | Eq  (** same iteration on this level ([delta = 0]) *)
+  | Gt  (** source iteration later on this level ([delta <= -1]) *)
 
-val pair_distances : Loop_nest.t -> (int * int * distance list) list
-(** Dependence distances attributed to the reference pair that produced
-    them: [(i, j, ds)] relates the nest's [i]-th and [j]-th accesses
-    (body order, [i <= j]) to the distances between them ([[]] when the
-    pair is proved independent).  Only pairs to the same array with at
-    least one write appear.  The analyzer uses this to name the exact
-    pair whose [Unknown] distance pins a nest to its source loop
-    order. *)
+type dep =
+  | Distance of Mlo_linalg.Intvec.t
+      (** The unique realized distance vector (lexicographically
+          positive). *)
+  | Direction of direction array
+      (** A feasible direction vector whose first non-[Eq] component is
+          [Lt] (after normalization), with at least one non-unique
+          distance component. *)
 
-val distances : Loop_nest.t -> distance list
-(** Dependence distances between every ordered pair of references to the
-    same array in which at least one reference writes.  Loop-independent
-    dependences (zero distance) are omitted: they are preserved by any
+val pair_deps : Loop_nest.t -> (int * int * dep list) list
+(** Dependences attributed to the reference pair that produced them:
+    [(i, j, ds)] relates the nest's [i]-th and [j]-th accesses (body
+    order, [i <= j]) to their dependences ([[]] when the pair is proved
+    independent).  Only pairs to the same array with at least one write
+    appear, in ascending body order.  Loop-independent dependences
+    (all-[Eq], zero distance) are omitted: they are preserved by any
     permutation of a single statement body. *)
+
+val deps : Loop_nest.t -> (int * int * dep) list
+(** Every dependence of the nest, flattened but still attributed to its
+    [(i, j)] access pair so diagnostics can name the responsible
+    references. *)
+
+val dep_legal : int array -> dep -> bool
+(** [dep_legal perm dep] is true iff the single dependence [dep] stays
+    lexicographically forward under [perm].  Diagnostics use it to name
+    the dependence blocking a rejected loop order. *)
 
 val legal_permutation : Loop_nest.t -> int array -> bool
 (** [legal_permutation nest perm] is true iff applying [perm] (new depth
-    [p] takes old loop [perm.(p)]) preserves every dependence of [nest].
-    The identity permutation is always legal. *)
+    [p] takes old loop [perm.(p)]) preserves every dependence of [nest]:
+    each permuted distance stays lexicographically non-negative and each
+    permuted direction vector's first non-[Eq] component is [Lt].  The
+    identity permutation is always legal. *)
 
 val legal_permutations : Loop_nest.t -> (int array * Loop_nest.t) list
 (** The subset of {!Loop_nest.permutations} that is dependence-legal
-    (always includes the identity, listed first). *)
+    (always includes the identity, listed first).  The dependence set is
+    computed once and reused across candidate orders. *)
+
+val direction_char : direction -> char
+(** ['<'], ['='] or ['>'] — for diagnostics and reports. *)
+
+val pp_dep : Format.formatter -> dep -> unit
+(** [(1, 0)] for distances, [(<, >)] for direction vectors. *)

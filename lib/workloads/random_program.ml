@@ -26,6 +26,7 @@ type params = {
   palette_size : int;
   ref_conflict_percent : int;
   nest_depth : int;
+  shift_nests : int;
 }
 
 let default =
@@ -47,6 +48,7 @@ let default =
     palette_size = 0;
     ref_conflict_percent = 0;
     nest_depth = 2;
+    shift_nests = 0;
   }
 
 (* The scale family: component-rich programs from tens to thousands of
@@ -77,6 +79,7 @@ let scale ?(seed = 11) ?(group_size = 8) num_arrays =
     palette_size = 0;
     ref_conflict_percent = 0;
     nest_depth = 2;
+    shift_nests = max 1 (num_arrays / 10);
   }
 
 (* The hard family: one dense co-reference component near the
@@ -111,6 +114,7 @@ let hard ?(seed = 23) num_arrays =
     palette_size = 3;
     ref_conflict_percent = 50;
     nest_depth = 3;
+    shift_nests = 0;
   }
 
 (* The 2-D layout palette of the paper's examples: row-major,
@@ -403,6 +407,41 @@ let reference_indices ~bound r =
 
 let loop_vars = [| "i"; "j"; "k"; "l"; "m"; "n" |]
 
+(* Windowed-update nests (the [shift_nests] axis): store Q[i+b][j],
+   load Q[i][j+1] over i, j in [0, b) with b = extent/2.  The pair is
+   uniform with distance (b, -1) — beyond the i trip count, so the
+   exact dependence engine proves independence and frees the
+   interchange, where a bounds-blind analysis pins the nest to its
+   source order.  Each nest references a single array, so it adds no
+   pair constraints: component structure and satisfiability of the
+   classic nests are untouched.  Deterministic and RNG-free, so
+   [shift_nests = 0] configurations generate bit-identically to the
+   pre-shift family. *)
+let shift_nest p ~extent s =
+  let b = max 1 (extent / 2) in
+  let q = s mod p.num_arrays in
+  let loops =
+    [
+      { Loop_nest.var = "i"; lo = 0; hi = b };
+      { Loop_nest.var = "j"; lo = 0; hi = b };
+    ]
+  in
+  let store =
+    Access.make Access.Write (array_name q)
+      [
+        Affine.{ coeffs = [| 1; 0 |]; const = b };
+        Affine.{ coeffs = [| 0; 1 |]; const = 0 };
+      ]
+  in
+  let load =
+    Access.make Access.Read (array_name q)
+      [
+        Affine.{ coeffs = [| 1; 0 |]; const = 0 };
+        Affine.{ coeffs = [| 0; 1 |]; const = 1 };
+      ]
+  in
+  Loop_nest.make ~name:(Printf.sprintf "shift%d" s) loops [ store; load ]
+
 let realize p ~extent =
   let planned = plan p in
   let arrays =
@@ -436,7 +475,8 @@ let realize p ~extent =
         Loop_nest.make ~name:pn.label loops accesses)
       planned
   in
-  Program.make ~name:p.name arrays nests
+  let shifts = List.init (max 0 p.shift_nests) (shift_nest p ~extent) in
+  Program.make ~name:p.name arrays (nests @ shifts)
 
 let generate p = realize p ~extent:p.extent
 let generate_sim p = realize p ~extent:p.sim_extent

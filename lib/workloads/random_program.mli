@@ -90,6 +90,18 @@ type params = {
           support in every pair constraint — the arc-consistency-blind
           shape the hard family is built on.  Requires
           [nest_depth <= palette size] (clamped otherwise). *)
+  shift_nests : int;
+      (** number of windowed-update nests appended after the classic
+          ones: nest [shift{s}] stores [Q[i+b][j]] and loads
+          [Q[i][j+1]] over [i, j < b = extent/2].  The reference pair
+          is uniform with distance [(b, -1)] — beyond the [i] trip
+          count, so the exact dependence analysis proves independence
+          and keeps both loop orders legal, while a bounds-blind
+          analysis would pin the nest.  Each such nest touches a single
+          array (no new pair constraints) and is generated without
+          consuming random draws, so [0] (the default everywhere but
+          the scale family) is bit-identical to the pre-shift
+          generator. *)
 }
 
 val default : params
@@ -99,8 +111,9 @@ val scale : ?seed:int -> ?group_size:int -> int -> params
 (** [scale n] is the scale-family configuration at [n] arrays
     ("scale-{n}"): nests at [2n/5] (at least 8), pools of [group_size]
     (default 8) arrays so the network splits into [~n/8] components,
-    paper-like conflict/skew/temporal rates, and a halved simulation
-    extent.  Designed to stress end-to-end throughput at 10/100/1000
+    paper-like conflict/skew/temporal rates, [max 1 (n/10)] windowed
+    shift nests whose legality only the exact dependence engine can
+    liberate, and a halved simulation extent.  Designed to stress end-to-end throughput at 10/100/1000
     arrays; see DESIGN.md Section 13. *)
 
 val hard : ?seed:int -> int -> params

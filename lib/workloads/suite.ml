@@ -81,6 +81,7 @@ let med_im04 () =
       palette_size = 0;
       ref_conflict_percent = 0;
       nest_depth = 2;
+      shift_nests = 0;
     }
     ~description:"medical image reconstruction" ~domain:258 ~data_kb:825.55
     ~solution:(7.14, 97.34, 12.22)
@@ -106,6 +107,7 @@ let radar () =
       palette_size = 0;
       ref_conflict_percent = 0;
       nest_depth = 2;
+      shift_nests = 0;
     }
     ~description:"radar imaging" ~domain:422 ~data_kb:905.28
     ~solution:(11.33, 129.51, 53.81)
@@ -131,6 +133,7 @@ let shape () =
       palette_size = 0;
       ref_conflict_percent = 0;
       nest_depth = 2;
+      shift_nests = 0;
     }
     ~description:"pattern recognition and shape analysis" ~domain:656
     ~data_kb:1284.06
@@ -157,6 +160,7 @@ let track () =
       palette_size = 0;
       ref_conflict_percent = 0;
       nest_depth = 2;
+      shift_nests = 0;
     }
     ~description:"visual tracking control" ~domain:388 ~data_kb:744.80
     ~solution:(10.09, 155.02, 68.50)

@@ -63,7 +63,7 @@ let test_lint_quiet_on_examples () =
       let r = Lint.run prog in
       Alcotest.(check int) (file ^ " no errors") 0 (List.length (errors r));
       Alcotest.(check int) (file ^ " no warnings") 0 (List.length (warnings r)))
-    [ "fig2.mlo"; "matmul.mlo" ]
+    [ "fig2.mlo"; "matmul.mlo"; "nonuniform.mlo" ]
 
 (* ------------------------------------------------------------------ *)
 (* Lint: seeded defects are found, and only them                       *)
@@ -567,6 +567,82 @@ let test_diagnostic_sort_deterministic () =
       (first.Diagnostic.severity = Diagnostic.Error)
   | [] -> Alcotest.fail "sort dropped diagnostics"
 
+(* ------------------------------------------------------------------ *)
+(* Depreport: the deps subcommand's engine                              *)
+(* ------------------------------------------------------------------ *)
+
+module Depreport = Mlo_analysis.Depreport
+module Json = Mlo_obs.Json
+
+(* nonuniform.mlo is built so only an exact test gets both nests right:
+   transpose is genuinely pinned by a (<, >) dependence, while disjoint
+   is a GCD-solvable pair whose loop bounds keep the accessed row
+   ranges apart. *)
+let test_depreport_nonuniform () =
+  let prog = Parser.parse_file (example "nonuniform.mlo") in
+  let r = Depreport.run prog in
+  let by_name n =
+    match
+      List.find_opt (fun nr -> nr.Depreport.nest = n) r.Depreport.nests
+    with
+    | Some nr -> nr
+    | None -> Alcotest.failf "nest %s missing from report" n
+  in
+  let transpose = by_name "transpose" and disjoint = by_name "disjoint" in
+  Alcotest.(check bool) "transpose pinned" true (Depreport.pinned transpose);
+  Alcotest.(check int) "transpose legal orders" 1
+    transpose.Depreport.legal_orders;
+  Alcotest.(check bool) "disjoint not pinned" false
+    (Depreport.pinned disjoint);
+  Alcotest.(check int) "disjoint legal orders" 2
+    disjoint.Depreport.legal_orders;
+  List.iter
+    (fun pr ->
+      Alcotest.(check (list Alcotest.reject))
+        (pr.Depreport.src_ref ^ " independent")
+        [] pr.Depreport.deps)
+    disjoint.Depreport.pairs;
+  Alcotest.(check bool) "engine did work" true (r.Depreport.checks > 0)
+
+(* The JSON document is what CI greps; pin the schema-relevant shape. *)
+let test_depreport_json_shape () =
+  let prog = Parser.parse_file (example "nonuniform.mlo") in
+  let r = Depreport.run prog in
+  match Depreport.to_json r with
+  | Json.Obj fields ->
+    let get k =
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> Alcotest.failf "field %s missing" k
+    in
+    (match get "program" with
+     | Json.Str _ -> ()
+     | _ -> Alcotest.fail "program is not a string");
+    (match get "nests" with
+     | Json.Arr nests ->
+       Alcotest.(check int) "two nests" 2 (List.length nests);
+       List.iter
+         (function
+           | Json.Obj nf ->
+             List.iter
+               (fun k ->
+                 if not (List.mem_assoc k nf) then
+                   Alcotest.failf "nest field %s missing" k)
+               [ "nest"; "depth"; "pairs"; "legal_orders"; "total_orders";
+                 "pinned" ]
+           | _ -> Alcotest.fail "nest is not an object")
+         nests
+     | _ -> Alcotest.fail "nests is not an array");
+    (match get "presburger" with
+     | Json.Obj pf ->
+       List.iter
+         (fun k ->
+           if not (List.mem_assoc k pf) then
+             Alcotest.failf "presburger field %s missing" k)
+         [ "checks"; "eliminations"; "splits"; "max_split_depth" ]
+     | _ -> Alcotest.fail "presburger is not an object")
+  | _ -> Alcotest.fail "report is not an object"
+
 (* End-to-end: two runs of the full analysis pipeline on the same
    workload must produce byte-identical diagnostic renderings. *)
 let test_pipeline_output_deterministic () =
@@ -614,6 +690,12 @@ let () =
         ] );
       ("goldens", [ Alcotest.test_case "benchmark networks" `Quick
                       test_network_goldens ]);
+      ( "depreport",
+        [
+          Alcotest.test_case "nonuniform verdicts" `Quick
+            test_depreport_nonuniform;
+          Alcotest.test_case "json shape" `Quick test_depreport_json_shape;
+        ] );
       ( "diagnostics",
         [
           Alcotest.test_case "sort renders deterministically" `Quick

@@ -212,7 +212,7 @@ let test_program_validation () =
 let test_dependence_none_for_reads () =
   (* two reads: never a dependence *)
   let nest = simple_nest () in
-  Alcotest.(check int) "no deps" 0 (List.length (Dependence.distances nest))
+  Alcotest.(check int) "no deps" 0 (List.length (Dependence.deps nest))
 
 let test_dependence_uniform_distance () =
   (* A[i][j] written, A[i-1][j] read: distance (1, 0) *)
@@ -223,9 +223,8 @@ let test_dependence_uniform_distance () =
       [ { Loop_nest.var = "i"; lo = 0; hi = 4 }; { Loop_nest.var = "j"; lo = 0; hi = 4 } ]
       [ w; r ]
   in
-  (match Dependence.distances nest with
-  | [ Dependence.Exact d ] -> Alcotest.check vec "distance" [| 1; 0 |] d
-  | [ Dependence.Unknown ] -> Alcotest.fail "expected exact distance"
+  (match Dependence.deps nest with
+  | [ (0, 1, Dependence.Distance d) ] -> Alcotest.check vec "distance" [| 1; 0 |] d
   | l -> Alcotest.fail (Printf.sprintf "expected 1 distance, got %d" (List.length l)));
   (* interchange keeps it lexicographically positive: (0,1) ... wait, the
      permuted distance is (0, 1): still positive -> legal *)
@@ -263,7 +262,7 @@ let test_dependence_gcd_independence () =
   let nest =
     Loop_nest.make ~name:"par" [ { Loop_nest.var = "i"; lo = 0; hi = 8 } ] [ w; r ]
   in
-  Alcotest.(check int) "independent" 0 (List.length (Dependence.distances nest))
+  Alcotest.(check int) "independent" 0 (List.length (Dependence.deps nest))
 
 let stride_nest wc woff rc roff =
   (* non-uniform 1-d pair: A[wc*i + woff] written, A[rc*i + roff] read *)
@@ -273,23 +272,27 @@ let stride_nest wc woff rc roff =
     [ { Loop_nest.var = "i"; lo = 0; hi = 8 } ]
     [ w; r ]
 
-let test_dependence_gcd_nonuniform () =
-  (* gcd(4,6)=2: an offset difference of 1 is unreachable (independent),
-     of 2 reachable (conservatively Unknown) *)
+let test_dependence_nonuniform_exact () =
+  (* gcd(4,6)=2: an offset difference of 1 is unreachable (independent);
+     of 2 reachable, and the Presburger engine resolves what the GCD
+     era reported as Unknown into the exact forward direction: the
+     realized distances are {-1, -2}, i.e. the read at i' precedes the
+     write at i > i', a (<) dependence after normalization *)
   Alcotest.(check int) "offset-only conflict: independent" 0
-    (List.length (Dependence.distances (stride_nest 4 0 6 1)));
-  (match Dependence.distances (stride_nest 4 0 6 2) with
-  | [ Dependence.Unknown ] -> ()
-  | l -> Alcotest.failf "expected [Unknown], got %d distances" (List.length l));
-  (* coprime strides: gcd 1 divides every offset, so a dependence can
-     never be excluded *)
-  match Dependence.distances (stride_nest 2 0 3 1) with
-  | [ Dependence.Unknown ] -> ()
-  | l -> Alcotest.failf "expected [Unknown], got %d distances" (List.length l)
+    (List.length (Dependence.deps (stride_nest 4 0 6 1)));
+  (match Dependence.deps (stride_nest 4 0 6 2) with
+  | [ (0, 1, Dependence.Direction [| Dependence.Lt |]) ] -> ()
+  | l -> Alcotest.failf "expected one (<) direction, got %d deps" (List.length l));
+  (* coprime strides: gcd 1 divides every offset, so the GCD test could
+     never exclude a dependence; the exact engine still resolves it *)
+  match Dependence.deps (stride_nest 2 0 3 1) with
+  | [ (0, 1, Dependence.Direction [| Dependence.Lt |]) ] -> ()
+  | l -> Alcotest.failf "expected one (<) direction, got %d deps" (List.length l)
 
-let test_dependence_unknown_pins_identity () =
-  (* A[i][j] written, A[j][i] read: non-uniform, gcd test cannot rule it
-     out -> Unknown, which pins the nest to its source order *)
+let test_dependence_transpose_pins_identity () =
+  (* A[i][j] written, A[j][i] read: the realized distances are
+     t*(1, -1) for t = 1..3, summarized as the direction vector (<, >)
+     -- which indeed rejects the interchange, pinning the nest *)
   let w =
     Access.write "A" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ]
   in
@@ -304,9 +307,9 @@ let test_dependence_unknown_pins_identity () =
       ]
       [ w; r ]
   in
-  (match Dependence.distances nest with
-  | [ Dependence.Unknown ] -> ()
-  | l -> Alcotest.failf "expected [Unknown], got %d distances" (List.length l));
+  (match Dependence.deps nest with
+  | [ (0, 1, Dependence.Direction [| Dependence.Lt; Dependence.Gt |]) ] -> ()
+  | l -> Alcotest.failf "expected one (<, >) direction, got %d deps" (List.length l));
   Alcotest.(check bool) "interchange illegal" false
     (Dependence.legal_permutation nest [| 1; 0 |]);
   match Dependence.legal_permutations nest with
@@ -316,7 +319,7 @@ let test_dependence_unknown_pins_identity () =
   | l -> Alcotest.failf "expected only identity, got %d orders" (List.length l)
 
 let test_dependence_pair_attribution () =
-  (* three references, one dependent pair: pair_distances must name the
+  (* three references, one dependent pair: deps must name the
      write/read pair carrying the distance, by access index *)
   let b = Access.read "B" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ] in
   let w = Access.write "A" [ Affine.make [ 1; 0 ] 0; Affine.make [ 0; 1 ] 0 ] in
@@ -329,13 +332,67 @@ let test_dependence_pair_attribution () =
       ]
       [ b; w; r ]
   in
-  let carrying =
-    List.filter (fun (_, _, ds) -> ds <> []) (Dependence.pair_distances nest)
-  in
-  match carrying with
-  | [ (1, 2, [ Dependence.Exact d ]) ] ->
+  (match Dependence.deps nest with
+  | [ (1, 2, Dependence.Distance d) ] ->
     Alcotest.check vec "distance" [| 1; 0 |] d
-  | l -> Alcotest.failf "expected one attributed pair, got %d" (List.length l)
+  | l -> Alcotest.failf "expected one attributed dep, got %d" (List.length l));
+  match List.filter (fun (_, _, ds) -> ds <> []) (Dependence.pair_deps nest) with
+  | [ (1, 2, _) ] -> ()
+  | l -> Alcotest.failf "expected one carrying pair, got %d" (List.length l)
+
+(* Regression (PR 10): the old analyzer's homogeneous nullity-1 case
+   claimed the nullspace basis vector was the *only* realized distance.
+   In truth every in-bounds multiple (both lex signs) is realized: the
+   exact engine reports the direction set instead. *)
+let test_dependence_homogeneous_distance_set () =
+  let w = Access.write "A" [ Affine.make [ 1; 1 ] 0 ] in
+  let r = Access.read "A" [ Affine.make [ 1; 1 ] 0 ] in
+  let nest =
+    Loop_nest.make ~name:"fold"
+      [
+        { Loop_nest.var = "i"; lo = 0; hi = 4 };
+        { Loop_nest.var = "j"; lo = 0; hi = 4 };
+      ]
+      [ w; r ]
+  in
+  let ds = Dependence.deps nest in
+  Alcotest.(check bool) "some dependence survives" true (ds <> []);
+  List.iter
+    (fun (_, _, d) ->
+      match d with
+      | Dependence.Distance v ->
+        Alcotest.failf "old unsound single distance resurfaced: %s"
+          (Format.asprintf "%a" Dependence.pp_dep (Dependence.Distance v))
+      | Dependence.Direction dirs ->
+        (* distances t*(1,-1) and t*(-1,1) are realized: the normalized
+           summary must be (<, >), never a single exact vector *)
+        if dirs <> [| Dependence.Lt; Dependence.Gt |] then
+          Alcotest.failf "expected (<, >), got %s"
+            (Format.asprintf "%a" Dependence.pp_dep d))
+    ds;
+  Alcotest.(check bool) "interchange still illegal" false
+    (Dependence.legal_permutation nest [| 1; 0 |])
+
+(* Regression (PR 10): a nullspace basis vector exceeding the trip count
+   is unrealizable -- the GCD-era analyzer nevertheless reported it as an
+   Exact dependence and rejected the interchange (a bounds-blind false
+   dependence).  The bounded system proves independence. *)
+let test_dependence_bounds_blind_false_dep_gone () =
+  let w = Access.write "A" [ Affine.make [ 1; 4 ] 0 ] in
+  let r = Access.read "A" [ Affine.make [ 1; 4 ] 0 ] in
+  let nest =
+    Loop_nest.make ~name:"narrow"
+      [
+        { Loop_nest.var = "i"; lo = 0; hi = 3 };
+        { Loop_nest.var = "j"; lo = 0; hi = 8 };
+      ]
+      [ w; r ]
+  in
+  (* basis distance (4,-1) would need |delta_i| = 4 > 2 = max trip *)
+  Alcotest.(check int) "proved independent" 0
+    (List.length (Dependence.deps nest));
+  Alcotest.(check int) "both orders legal" 2
+    (List.length (Dependence.legal_permutations nest))
 
 (* ------------------------------------------------------------------ *)
 (* Cost                                                                 *)
@@ -513,12 +570,16 @@ let () =
             test_dependence_matmul_all_legal;
           Alcotest.test_case "gcd independence" `Quick
             test_dependence_gcd_independence;
-          Alcotest.test_case "gcd on non-uniform strides" `Quick
-            test_dependence_gcd_nonuniform;
-          Alcotest.test_case "unknown pins to identity" `Quick
-            test_dependence_unknown_pins_identity;
+          Alcotest.test_case "non-uniform strides resolved exactly" `Quick
+            test_dependence_nonuniform_exact;
+          Alcotest.test_case "transpose pins to identity" `Quick
+            test_dependence_transpose_pins_identity;
           Alcotest.test_case "pair attribution" `Quick
             test_dependence_pair_attribution;
+          Alcotest.test_case "homogeneous distance set (regression)" `Quick
+            test_dependence_homogeneous_distance_set;
+          Alcotest.test_case "bounds-blind false dep gone (regression)" `Quick
+            test_dependence_bounds_blind_false_dep_gone;
         ] );
       ( "cost",
         [
